@@ -1,0 +1,75 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark module reproduces one table or figure of the paper: it runs
+the corresponding experiment on the mini datasets, prints a paper-vs-measured
+table, writes the same table under ``benchmarks/results/``, and asserts the
+paper's *qualitative* claim (orderings, crossovers, reduction factors — see
+DESIGN.md §5 on calibration).
+
+Heavyweight artifacts (datasets, partitions, VIP matrices) are cached at
+session scope so the suite shares preprocessing, mirroring the paper's
+amortized dataset preparation.
+"""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, SalientPP, make_partition
+from repro.graph import load_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ArtifactCache:
+    """Session-wide memo for datasets, partitions, and built systems."""
+
+    def __init__(self):
+        self._datasets = {}
+        self._partitions = {}
+        self._vip = {}
+
+    def dataset(self, name, seed=0):
+        key = (name, seed)
+        if key not in self._datasets:
+            self._datasets[key] = load_dataset(name, seed=seed)
+        return self._datasets[key]
+
+    def partition(self, name, num_machines, seed=0):
+        key = (name, num_machines, seed)
+        if key not in self._partitions:
+            ds = self.dataset(name, seed)
+            cfg = RunConfig(num_machines=num_machines, seed=seed).resolve(ds)
+            self._partitions[key] = make_partition(ds, cfg)
+        return self._partitions[key]
+
+    def system(self, name, config, seed=0):
+        ds = self.dataset(name, seed)
+        part = self.partition(name, config.num_machines, seed)
+        return SalientPP.build(ds, config, partition=part)
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    return ArtifactCache()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+
+def publish(name: str, table) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = table.render() if hasattr(table, "render") else str(table)
+    print("\n" + text + "\n")
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark, executing it exactly once
+    (these are experiment harnesses, not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

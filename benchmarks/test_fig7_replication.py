@@ -1,0 +1,59 @@
+"""Figure 7: replication-factor sweep.
+
+Paper: per-epoch time vs alpha for papers (4 and 8 partitions, 90% of local
+data on GPU) and mag240c (8 and 16 partitions, 10% on GPU).  Modest factors
+(0.08-0.16 at 4 parts, 0.16-0.32 at 8+) already minimize epoch time;
+returns diminish beyond that.
+"""
+
+import pytest
+
+from repro.core import RunConfig
+from conftest import publish, run_once
+from repro.utils import Table
+
+SWEEPS = [
+    ("papers-mini", (4, 8), 0.9),
+    ("mag240c-mini", (8, 16), 0.1),
+]
+ALPHAS = [0.0, 0.08, 0.16, 0.24, 0.32]
+
+
+def run_fig7(artifacts):
+    out = {}
+    for name, parts, beta in SWEEPS:
+        for K in parts:
+            for alpha in ALPHAS:
+                cfg = RunConfig(num_machines=K, replication_factor=alpha,
+                                gpu_fraction=beta)
+                system = artifacts.system(name, cfg)
+                out[(name, K, alpha)] = system.mean_epoch_time(epochs=1)
+    return out
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_replication_factor(benchmark, artifacts):
+    results = run_once(benchmark, lambda: run_fig7(artifacts))
+
+    for name, parts, beta in SWEEPS:
+        table = Table(["alpha"] + [f"{K} parts (ms)" for K in parts],
+                      title=f"Figure 7 — replication-factor sweep ({name}, "
+                            f"{100 * beta:.0f}% local on GPU)")
+        for alpha in ALPHAS:
+            table.add_row([f"{alpha:.2f}"]
+                          + [1000 * results[(name, K, alpha)] for K in parts])
+        publish(f"fig7_{name}", table)
+
+    for name, parts, beta in SWEEPS:
+        for K in parts:
+            t0 = results[(name, K, 0.0)]
+            t_last = results[(name, K, ALPHAS[-1])]
+            # Caching helps substantially...
+            assert t_last < t0 * 0.9, f"{name} K={K}: caching must reduce epoch time"
+            # ...with diminishing returns: the last increment buys less than
+            # the first one.
+            first_gain = t0 - results[(name, K, ALPHAS[1])]
+            last_gain = results[(name, K, ALPHAS[-2])] - t_last
+            assert last_gain <= first_gain + 1e-9
+    benchmark.extra_info["papers8_alpha32_vs_0"] = round(
+        results[("papers-mini", 8, 0.32)] / results[("papers-mini", 8, 0.0)], 3)

@@ -1,0 +1,70 @@
+"""Figure 9: VIP-analytic vs VIP-simulation caching on slow networks.
+
+Paper: 16-node runs with token-bucket-limited 4 and 8 Gbps networks.  On
+slow networks higher replication factors are needed before communication
+stops bottlenecking; the analytic policy beats the simulation-based one and
+the gap grows with alpha (and with feature width — larger for mag240c).
+"""
+
+import pytest
+
+from repro.core import RunConfig
+from conftest import publish, run_once
+from repro.utils import Table
+
+K = 16
+SWEEPS = [
+    ("papers-mini", [0.08, 0.16, 0.32, 0.48]),
+    ("mag240c-mini", [0.08, 0.16, 0.32, 0.48]),
+]
+NETWORKS = [4.0, 8.0]
+
+
+def run_fig9(artifacts):
+    out = {}
+    for name, alphas in SWEEPS:
+        for gbps in NETWORKS:
+            for policy in ("vip", "sim"):
+                for alpha in alphas:
+                    cfg = RunConfig(num_machines=K, replication_factor=alpha,
+                                    cache_policy=policy, network_gbps=gbps,
+                                    gpu_fraction=0.5)
+                    system = artifacts.system(name, cfg)
+                    out[(name, gbps, policy, alpha)] = system.mean_epoch_time(epochs=1)
+    return out
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_slow_network_policies(benchmark, artifacts):
+    results = run_once(benchmark, lambda: run_fig9(artifacts))
+
+    for name, alphas in SWEEPS:
+        for gbps in NETWORKS:
+            table = Table(
+                ["alpha", "VIP analytic (ms)", "VIP simulation (ms)", "gap"],
+                title=f"Figure 9 — {name}, {K} nodes, {gbps:g} Gbps network",
+            )
+            for alpha in alphas:
+                ta = results[(name, gbps, "vip", alpha)]
+                ts = results[(name, gbps, "sim", alpha)]
+                table.add_row([f"{alpha:.2f}", 1000 * ta, 1000 * ts,
+                               f"{ts / ta:.2f}x"])
+            publish(f"fig9_{name}_{int(gbps)}gbps", table)
+
+    for name, alphas in SWEEPS:
+        for gbps in NETWORKS:
+            # Analytic VIP is never worse in aggregate across the sweep.
+            tot_a = sum(results[(name, gbps, "vip", a)] for a in alphas)
+            tot_s = sum(results[(name, gbps, "sim", a)] for a in alphas)
+            assert tot_a <= tot_s * 1.02, \
+                f"{name}@{gbps}Gbps: analytic VIP must not lose to simulation"
+            # More replication helps on slow networks.
+            assert results[(name, gbps, "vip", alphas[-1])] < \
+                results[(name, gbps, "vip", alphas[0])]
+        # Slower network -> slower epochs at small alpha (comm-bound regime).
+        assert results[(name, 4.0, "vip", alphas[0])] > \
+            results[(name, 8.0, "vip", alphas[0])] * 0.999
+
+    benchmark.extra_info["papers_4gbps_gap_at_048"] = round(
+        results[("papers-mini", 4.0, "sim", 0.48)]
+        / results[("papers-mini", 4.0, "vip", 0.48)], 3)

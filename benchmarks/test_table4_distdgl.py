@@ -1,0 +1,50 @@
+"""Table 4: SALIENT++ vs the DistDGL-like baseline.
+
+Paper (papers, 3-layer SAGE, fanout (15,10,5), hidden 256):
+
+    SALIENT++   2.9s   8x A10G, 25 Gbps
+    DistDGL    37.0s   same hardware, public example code  (~12.7x slower)
+    DistDGLv2  ~5s     64x T4, 100 Gbps (reported)
+
+The baseline reproduces DistDGL's architecture (distributed graph structure
+with per-hop sampling RPCs, synchronous KVStore feature fetch, no pipeline,
+no cache); the asserted shape is the order-of-magnitude gap.
+"""
+
+import pytest
+
+from repro.baselines import DistDGL
+from repro.core import RunConfig
+from conftest import publish, run_once
+from repro.utils import Table
+
+DATASET = "papers-mini"
+K = 8
+
+
+def run_table4(artifacts):
+    ds = artifacts.dataset(DATASET)
+    part = artifacts.partition(DATASET, K)
+    spp = artifacts.system(DATASET, RunConfig(num_machines=K,
+                                              replication_factor=0.32))
+    t_spp = spp.mean_epoch_time(epochs=1)
+    ddgl = DistDGL.build(ds, RunConfig(num_machines=K), partition=part)
+    t_dgl = ddgl.mean_epoch_time(epochs=1)
+    return t_spp, t_dgl
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_distdgl_comparison(benchmark, artifacts):
+    t_spp, t_dgl = run_once(benchmark, lambda: run_table4(artifacts))
+
+    table = Table(["system", "measured (ms)", "ratio", "paper (s)", "paper ratio"],
+                  title=f"Table 4 — system comparison ({DATASET}, {K} machines)")
+    table.add_row(["SALIENT++", 1000 * t_spp, "1.0x", 2.9, "1.0x"])
+    table.add_row(["DistDGL-like", 1000 * t_dgl, f"{t_dgl / t_spp:.1f}x",
+                   37.0, "12.7x"])
+    publish("table4", table)
+
+    ratio = t_dgl / t_spp
+    assert 6.0 < ratio < 30.0, \
+        f"DistDGL-like must be an order of magnitude slower, got {ratio:.1f}x"
+    benchmark.extra_info["ratio_vs_paper_12.7"] = round(ratio, 2)

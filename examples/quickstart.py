@@ -1,0 +1,57 @@
+"""Quickstart: distributed GNN training with VIP caching in ~20 lines.
+
+Builds SALIENT++ on a small synthetic dataset: partitions the graph, runs
+VIP analysis, reorders vertices, selects per-machine caches, trains a
+GraphSAGE model across 4 simulated machines, and reports accuracy plus the
+communication the cache avoided.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import load_dataset
+from repro.core import RunConfig, SalientPP
+from repro.utils import Table, format_bytes
+
+
+def main():
+    dataset = load_dataset("tiny", seed=0)
+    print(f"dataset: {dataset}")
+
+    config = RunConfig(
+        num_machines=4,
+        fanouts=(5, 5),
+        batch_size=16,
+        hidden_dim=32,
+        replication_factor=0.2,   # alpha: cache ~ 0.2 * N / K rows/machine
+        cache_policy="vip",       # Proposition-1 analytic VIP ranking
+        gpu_fraction=0.25,        # beta: hottest quarter of locals on GPU
+        lr=0.01,
+    )
+    system = SalientPP.build(dataset, config)
+    print(f"built: {system.describe()}")
+    print(f"feature memory: {system.memory_multiple:.2f}x the dataset "
+          f"(full replication would be {config.num_machines}x)")
+
+    results = system.train(epochs=8)
+    test_acc = system.evaluate("test")
+
+    table = Table(["epoch", "loss", "simulated epoch time",
+                   "remote rows fetched", "cache hits"])
+    for r in results:
+        table.add_row([
+            r.report.epoch,
+            r.loss,
+            f"{1000 * r.epoch_time:.2f} ms",
+            r.report.total_remote_rows(),
+            r.report.total_cached_rows(),
+        ])
+    print()
+    print(table)
+    print(f"\ntest accuracy: {test_acc:.3f}")
+    ledger = results[-1].report.ledger
+    print(f"last-epoch feature bytes on the wire: "
+          f"{format_bytes(ledger.total_feature_bytes())}")
+
+
+if __name__ == "__main__":
+    main()

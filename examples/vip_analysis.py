@@ -1,0 +1,51 @@
+"""VIP analysis under the microscope: Proposition 1 vs direct simulation.
+
+Computes analytic vertex-inclusion probabilities for a small power-law graph
+and compares them against Monte-Carlo frequencies of the actual sampling
+process — the validation at the heart of the paper — then shows why degree
+alone is a poor proxy for access probability.
+
+Run:  python examples/vip_analysis.py
+"""
+
+import numpy as np
+
+from repro.graph import power_law_community_graph
+from repro.utils import Table
+from repro.vip import montecarlo_inclusion_frequency, vip_for_training_set
+
+
+def main():
+    graph, _ = power_law_community_graph(
+        2000, 10.0, num_communities=16, seed=1)
+    rng = np.random.default_rng(0)
+    train = rng.choice(graph.num_vertices, 200, replace=False)
+    fanouts, batch = (5, 3), 32
+
+    res = vip_for_training_set(graph, train, fanouts, batch)
+    analytic = res.access
+    print(f"graph: {graph}")
+    print(f"analytic VIP computed for fanouts {fanouts}, batch {batch} "
+          f"(O(L(M+N)) sparse propagation)\n")
+
+    print("running 2000 Monte-Carlo trials of the real sampler...")
+    mc = montecarlo_inclusion_frequency(graph, train, fanouts, batch,
+                                        trials=2000, seed=2)
+    corr = np.corrcoef(analytic, mc)[0, 1]
+    print(f"correlation(analytic, simulated): {corr:.4f}\n")
+
+    top = np.argsort(-analytic)[:10]
+    table = Table(["vertex", "analytic VIP", "simulated freq", "degree"],
+                  title="Ten most-included vertices", float_fmt="{:.4f}")
+    for v in top:
+        table.add_row([int(v), analytic[v], mc[v], int(graph.degrees[v])])
+    print(table)
+
+    # Degree is correlated with VIP but misses the training-set geometry.
+    deg_corr = np.corrcoef(graph.degrees.astype(float), mc)[0, 1]
+    print(f"\ncorrelation(degree, simulated): {deg_corr:.4f} "
+          f"(vs {corr:.4f} for analytic VIP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so `pip install -e . --no-build-isolation
+--no-use-pep517` works on air-gapped machines that lack the `wheel` package
+(PEP 660 editable installs require building a wheel; `setup.py develop` does
+not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

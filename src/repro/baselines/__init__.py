@@ -1,0 +1,5 @@
+"""Comparison systems: the DistDGL-like baseline of Table 4."""
+
+from repro.baselines.distdgl import DistDGL, DistDGLCostModel, DistDGLParams
+
+__all__ = ["DistDGL", "DistDGLCostModel", "DistDGLParams"]

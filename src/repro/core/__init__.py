@@ -1,0 +1,19 @@
+"""SALIENT / SALIENT++ system layer: configuration and end-to-end systems."""
+
+from repro.core.config import RunConfig, progressive_variants, table1_alpha
+from repro.core.system import (
+    EpochResult,
+    Salient,
+    SalientPP,
+    make_partition,
+)
+
+__all__ = [
+    "RunConfig",
+    "progressive_variants",
+    "table1_alpha",
+    "EpochResult",
+    "Salient",
+    "SalientPP",
+    "make_partition",
+]

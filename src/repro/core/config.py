@@ -1,0 +1,111 @@
+"""Run configuration for the SALIENT / SALIENT++ systems.
+
+One :class:`RunConfig` captures everything that distinguishes the systems
+compared in the paper's evaluation: replication strategy (full vs
+partitioned), caching policy and replication factor α, local GPU fraction β,
+VIP reordering, pipeline mode/depth, partitioner, cluster size, and network
+bandwidth.  Table 1's progressive ladder and Figure 4's bars are just four
+configs differing in three flags (see :func:`progressive_variants`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.distributed.cluster import ClusterSpec, MachineSpec, NetworkSpec
+from repro.pipeline.simulator import PipelineMode
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration of one system variant on one cluster.
+
+    ``fanouts`` / ``batch_size`` / ``hidden_dim`` / ``num_layers`` default to
+    the dataset's Table-3-analog metadata when ``None``.
+    """
+
+    num_machines: int = 2
+    fanouts: Optional[Tuple[int, ...]] = None
+    batch_size: Optional[int] = None
+    hidden_dim: Optional[int] = None
+    arch: str = "sage"
+    dropout: float = 0.0
+    lr: float = 1e-3
+
+    # Storage strategy (§4.1, §4.2).
+    full_replication: bool = False          # SALIENT baseline
+    replication_factor: float = 0.0         # α — remote cache size ~ αN/K
+    cache_policy: str = "vip"               # policy registry name
+    gpu_fraction: float = 0.0               # β — local rows resident on GPU
+    vip_reorder: bool = True                # §4.1 local ordering
+
+    # Pipeline (§4.3).
+    pipeline: PipelineMode = PipelineMode.FULL
+    pipeline_depth: int = 10
+
+    # Substrate.
+    partitioner: str = "metis"              # "metis" | "random" | "ldg" | "bfs"
+    network_gbps: float = 25.0
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    seed: int = 0
+
+    def cluster(self) -> ClusterSpec:
+        return ClusterSpec(
+            num_machines=self.num_machines,
+            machine=self.machine_spec,
+            network=NetworkSpec().with_bandwidth(self.network_gbps),
+        )
+
+    def resolve(self, dataset) -> "RunConfig":
+        """Fill ``None`` hyperparameters from the dataset's default
+        experiment metadata (the Table 3 analog)."""
+        defaults = dataset.metadata.get("default_experiment", {})
+        updates = {}
+        if self.fanouts is None:
+            updates["fanouts"] = tuple(defaults.get("fanouts", (5, 4, 3)))
+        if self.batch_size is None:
+            updates["batch_size"] = int(defaults.get("batch_size", 64))
+        if self.hidden_dim is None:
+            updates["hidden_dim"] = int(defaults.get("hidden_dim", 64))
+        return replace(self, **updates) if updates else self
+
+    def describe(self) -> str:
+        if self.full_replication:
+            storage = "full replication"
+        elif self.replication_factor > 0:
+            storage = f"partitioned + {self.cache_policy} cache (a={self.replication_factor:g})"
+        else:
+            storage = "partitioned"
+        return (f"{storage}, pipeline={self.pipeline.value}, K={self.num_machines}, "
+                f"net={self.network_gbps:g}Gbps")
+
+
+def progressive_variants(num_machines: int,
+                         cache_alpha: float) -> List[Tuple[str, RunConfig]]:
+    """The Table 1 / Figure 4 ladder of progressively optimized systems.
+
+    ``cache_alpha`` follows the paper's per-K schedule for Table 1
+    (8% at K=2, 16% at K=4, 32% at K=8).
+    """
+    base = RunConfig(num_machines=num_machines)
+    return [
+        ("SALIENT (full replication)",
+         replace(base, full_replication=True, pipeline=PipelineMode.FULL)),
+        ("+ Partitioned features",
+         replace(base, pipeline=PipelineMode.BLOCKING_COMM)),
+        ("+ Pipelined communication",
+         replace(base, pipeline=PipelineMode.FULL)),
+        ("+ Feature caching",
+         replace(base, pipeline=PipelineMode.FULL,
+                 replication_factor=cache_alpha, cache_policy="vip")),
+    ]
+
+
+def table1_alpha(num_machines: int) -> float:
+    """Table 1's cache sizes: 8% (2 machines), 16% (4), 32% (8+)."""
+    if num_machines <= 2:
+        return 0.08
+    if num_machines <= 4:
+        return 0.16
+    return 0.32

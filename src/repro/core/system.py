@@ -1,0 +1,256 @@
+"""End-to-end SALIENT / SALIENT++ systems.
+
+:class:`SalientPP` wires the whole stack together the way the real system's
+preprocessing + runtime does:
+
+1. partition the graph (METIS-like, multi-constraint balanced);
+2. compute partition-wise VIP vectors (Proposition 1);
+3. reorder vertices partition-contiguously, VIP-descending within partitions;
+4. select each machine's remote-feature cache with the configured policy;
+5. build the partitioned feature store (GPU prefix β, cache α);
+6. train with the bulk-synchronous distributed executor (functionally real
+   numpy GNN training), recording exact per-step workload volumes;
+7. replay those volumes through the discrete-event pipeline simulator to
+   obtain epoch times on the configured cluster.
+
+:class:`Salient` is the same object built with full feature replication (the
+paper's baseline, Table 1 row 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.executor import DistributedTrainer, EpochReport
+from repro.distributed.feature_store import PartitionedFeatureStore
+from repro.graph.datasets import GraphDataset
+from repro.partition.baselines import bfs_partition, ldg_partition, random_partition
+from repro.partition.interface import Partition
+from repro.partition.multilevel import metis_like_partition
+from repro.partition.reorder import ReorderedDataset, reorder_dataset
+from repro.pipeline.costmodel import CostModel, ModelDims
+from repro.pipeline.simulator import PipelineMode, PipelineResult, simulate_epoch
+from repro.utils.rng import derive_seed
+from repro.vip.analytic import partitionwise_vip
+from repro.vip.policies import (
+    CacheContext,
+    OraclePolicy,
+    build_caches,
+    default_policies,
+)
+
+
+def make_partition(dataset: GraphDataset, config: RunConfig) -> Partition:
+    """Partition per the config (METIS-like with the paper's balancing
+    constraints by default)."""
+    K = config.num_machines
+    if K == 1:
+        return Partition(np.zeros(dataset.num_vertices, dtype=np.int64), 1)
+    if config.partitioner == "metis":
+        role = np.zeros((dataset.num_vertices, 4))
+        role[:, 0] = 1.0
+        role[dataset.train_idx, 1] = 1.0
+        role[dataset.val_idx, 2] = 1.0
+        role[dataset.test_idx, 3] = 1.0
+        return metis_like_partition(
+            dataset.graph, K, vertex_weights=role,
+            seed=derive_seed(config.seed, "partition"),
+        )
+    if config.partitioner == "random":
+        return random_partition(dataset.num_vertices, K,
+                                seed=derive_seed(config.seed, "partition"))
+    if config.partitioner == "ldg":
+        return ldg_partition(dataset.graph, K,
+                             seed=derive_seed(config.seed, "partition"))
+    if config.partitioner == "bfs":
+        return bfs_partition(dataset.graph, K,
+                             seed=derive_seed(config.seed, "partition"))
+    raise ValueError(f"unknown partitioner {config.partitioner!r}")
+
+
+@dataclass
+class EpochResult:
+    """Functional + simulated-timing outcome of one epoch."""
+
+    report: EpochReport
+    timing: PipelineResult
+
+    @property
+    def epoch_time(self) -> float:
+        return self.timing.epoch_time
+
+    @property
+    def loss(self) -> Optional[float]:
+        return self.report.mean_loss
+
+
+class SalientPP:
+    """The SALIENT++ system (or its ablations, per the config).
+
+    Use :meth:`build` (which runs the preprocessing pipeline) rather than the
+    constructor.  Heavyweight artifacts (partition, VIP matrix) can be
+    injected to amortize preprocessing across system variants sharing a
+    dataset and machine count — exactly how the benchmark harness reproduces
+    Table 1's ladder.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        config: RunConfig,
+        reordered: ReorderedDataset,
+        store: PartitionedFeatureStore,
+        trainer: DistributedTrainer,
+        cost_model: CostModel,
+        vip_matrix: Optional[np.ndarray],
+    ):
+        self.dataset = dataset
+        self.config = config
+        self.reordered = reordered
+        self.store = store
+        self.trainer = trainer
+        self.cost_model = cost_model
+        self.vip_matrix = vip_matrix
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: GraphDataset,
+        config: RunConfig,
+        *,
+        partition: Optional[Partition] = None,
+        vip_matrix: Optional[np.ndarray] = None,
+    ) -> "SalientPP":
+        config = config.resolve(dataset)
+        K = config.num_machines
+        if partition is None:
+            partition = make_partition(dataset, config)
+        if partition.num_parts != K:
+            raise ValueError(
+                f"partition has {partition.num_parts} parts, config wants {K}"
+            )
+
+        needs_vip = config.vip_reorder or (
+            config.replication_factor > 0 and config.cache_policy == "vip"
+        )
+        if vip_matrix is None and needs_vip:
+            vip_matrix = partitionwise_vip(
+                dataset.graph, partition, dataset.train_idx,
+                config.fanouts, config.batch_size,
+            )
+
+        # §4.1: partition-contiguous order, VIP-descending within partitions.
+        score = None
+        if config.vip_reorder and vip_matrix is not None:
+            score = np.zeros(dataset.num_vertices)
+            for k in range(K):
+                mask = partition.assignment == k
+                score[mask] = vip_matrix[k][mask]
+        reordered = reorder_dataset(dataset, partition, within_part_score=score)
+
+        # §4.2: remote-feature caches (ids in the *new* vertex numbering).
+        caches = None
+        if config.replication_factor > 0 and not config.full_replication:
+            ctx = CacheContext(
+                graph=reordered.dataset.graph,
+                partition=reordered.partition,
+                train_idx=reordered.dataset.train_idx,
+                fanouts=config.fanouts,
+                batch_size=config.batch_size,
+                seed=derive_seed(config.seed, "cache"),
+            )
+            if config.cache_policy == "vip" and vip_matrix is not None:
+                # Reuse the already-computed VIP matrix (relabel to new ids).
+                vip_new = vip_matrix[:, reordered.old_of_new]
+                policy = OraclePolicy(vip_new)  # ranking by injected scores
+                policy.name = "vip"
+            else:
+                policy = default_policies()[config.cache_policy]()
+            caches = build_caches(policy, ctx, config.replication_factor)
+
+        if config.full_replication:
+            store = PartitionedFeatureStore.build_replicated(
+                reordered, gpu_fraction=config.gpu_fraction,
+            )
+        else:
+            store = PartitionedFeatureStore.build(
+                reordered, gpu_fraction=config.gpu_fraction, caches=caches,
+            )
+
+        trainer = DistributedTrainer(
+            reordered, store,
+            fanouts=config.fanouts,
+            batch_size=config.batch_size,
+            hidden_dim=config.hidden_dim,
+            arch=config.arch,
+            dropout=config.dropout,
+            lr=config.lr,
+            seed=derive_seed(config.seed, "trainer"),
+        )
+        dims = ModelDims(dataset.feature_dim, config.hidden_dim, dataset.num_classes)
+        cost_model = cls._cost_model_for(config, store, dims, trainer)
+        return cls(dataset, config, reordered, store, trainer, cost_model, vip_matrix)
+
+    @staticmethod
+    def _cost_model_for(config: RunConfig, store: PartitionedFeatureStore,
+                        dims: ModelDims, trainer: DistributedTrainer) -> CostModel:
+        return CostModel(
+            cluster=config.cluster(),
+            bytes_per_row=store.bytes_per_row,
+            dims=dims,
+            grad_nbytes=trainer.gradient_nbytes(),
+        )
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int = 0, *, dry_run: bool = False) -> EpochResult:
+        """One functional epoch + its simulated wall time."""
+        report = self.trainer.train_epoch(epoch, dry_run=dry_run)
+        timing = simulate_epoch(
+            report, self.cost_model,
+            mode=self.config.pipeline,
+            depth=self.config.pipeline_depth,
+        )
+        return EpochResult(report=report, timing=timing)
+
+    def train(self, epochs: int, *, dry_run: bool = False) -> List[EpochResult]:
+        return [self.train_epoch(e, dry_run=dry_run) for e in range(epochs)]
+
+    def mean_epoch_time(self, epochs: int = 2, *, dry_run: bool = True) -> float:
+        """Simulated per-epoch runtime averaged over ``epochs`` epochs (dry
+        runs by default: timing needs volumes, not gradients)."""
+        results = self.train(epochs, dry_run=dry_run)
+        return float(np.mean([r.epoch_time for r in results]))
+
+    def evaluate(self, split: str = "test", **kwargs) -> float:
+        return self.trainer.evaluate(split, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_multiple(self) -> float:
+        """Total feature memory across machines, as a multiple of the
+        unreplicated dataset (Figure 5's right axis)."""
+        return self.store.memory_multiple()
+
+    @property
+    def realized_alpha(self) -> float:
+        return self.store.replication_factor()
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}[{self.config.describe()}]"
+
+
+class Salient(SalientPP):
+    """The SALIENT baseline: full feature replication on every machine."""
+
+    @classmethod
+    def build(cls, dataset: GraphDataset, config: RunConfig, **kwargs) -> "Salient":
+        from dataclasses import replace
+
+        config = replace(config, full_replication=True, replication_factor=0.0)
+        return super().build(dataset, config, **kwargs)

@@ -1,0 +1,34 @@
+"""Simulated distributed runtime: cluster specs, partitioned feature store
+with CPU/GPU tiers and static caches, byte-accounted collectives, and the
+bulk-synchronous data-parallel trainer."""
+
+from repro.distributed.cluster import GBPS, ClusterSpec, MachineSpec, NetworkSpec
+from repro.distributed.comm import (
+    CommLedger,
+    all_reduce_gradients,
+    broadcast_state,
+    gradient_nbytes,
+)
+from repro.distributed.feature_store import (
+    GatherStats,
+    MachineStore,
+    PartitionedFeatureStore,
+)
+from repro.distributed.executor import DistributedTrainer, EpochReport, StepRecord
+
+__all__ = [
+    "GBPS",
+    "ClusterSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "CommLedger",
+    "all_reduce_gradients",
+    "broadcast_state",
+    "gradient_nbytes",
+    "GatherStats",
+    "MachineStore",
+    "PartitionedFeatureStore",
+    "DistributedTrainer",
+    "EpochReport",
+    "StepRecord",
+]

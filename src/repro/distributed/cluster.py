@@ -1,0 +1,127 @@
+"""Cluster hardware model: machine, network, and cluster specifications.
+
+The paper's testbed is 16 AWS g5.8xlarge machines (16-core AMD CPU, 128 GB
+DRAM, one NVIDIA A10G with 24 GB, 25 Gbps network SLA).  These dataclasses
+encode that hardware as throughput/latency parameters consumed by the
+discrete-event pipeline simulator; the *workload* quantities (vertices,
+bytes, FLOPs) always come from the functional execution, so changing a spec
+changes only timing, never behaviour.
+
+Rates are calibrated so the mini datasets land in the same bottleneck regime
+as the paper (communication-bound without caching at 25 Gbps; compute-bound
+once VIP caching removes most remote traffic).  Figure 9's slow-network
+experiments reuse :meth:`NetworkSpec.with_bandwidth` at 4 and 8 Gbps, the
+paper's token-bucket-filter settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+GBPS = 1e9 / 8  # bytes/s per Gbit/s
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-machine throughput model (defaults ≈ g5.8xlarge + A10G).
+
+    Attributes
+    ----------
+    sample_rate:
+        Candidate adjacency entries/s the shared-memory sampler examines
+        (SALIENT's C++ sampler on 16 cores processes on the order of 1e8
+        edge-candidates/s).
+    cpu_slice_rate:
+        Bytes/s for CPU-side feature tensor slicing (memory-bandwidth bound).
+    gpu_slice_rate:
+        Bytes/s for GPU-side slicing (HBM-bandwidth bound; A10G ~600 GB/s,
+        derated for gather granularity).
+    pcie_bandwidth:
+        Effective host-to-device copy bandwidth.  PCIe 4.0 x16 peaks near
+        12 GB/s with large pinned buffers; the mini workload's small
+        scattered batches sustain well under half of that, so the default is
+        calibrated to the small-transfer regime.
+    gpu_flops:
+        Effective training FLOP/s for the GEMM mix of GraphSAGE forward +
+        backward (A10G peaks at 31.2 TF32 TFLOP/s; small-batch GNN kernels
+        sustain a modest fraction).
+    overhead_per_batch:
+        Fixed per-minibatch CPU overhead (Python/driver/queueing), seconds.
+    """
+
+    sample_rate: float = 6.0e8
+    cpu_slice_rate: float = 1.6e10
+    gpu_slice_rate: float = 1.5e11
+    pcie_bandwidth: float = 5.0e9
+    gpu_flops: float = 6.0e11
+    overhead_per_batch: float = 2.0e-5
+    cpu_workers: int = 4
+
+    def scaled(self, factor: float) -> "MachineSpec":
+        """Uniformly faster/slower machine (ablation helper)."""
+        return MachineSpec(
+            sample_rate=self.sample_rate * factor,
+            cpu_slice_rate=self.cpu_slice_rate * factor,
+            gpu_slice_rate=self.gpu_slice_rate * factor,
+            pcie_bandwidth=self.pcie_bandwidth * factor,
+            gpu_flops=self.gpu_flops * factor,
+            overhead_per_batch=self.overhead_per_batch / max(factor, 1e-12),
+            cpu_workers=self.cpu_workers,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network model: full-duplex per-NIC bandwidth plus per-round latency.
+
+    ``bandwidth`` applies independently to each machine's ingress and egress
+    (the 25 Gbps SLA of g5.8xlarge); ``efficiency`` derates it for protocol
+    and incast overheads of scattered all-to-alls (TCP on EC2 sustains well
+    under line rate for many-peer exchanges); ``latency`` is charged once per
+    communication round (all-to-all metadata exchange, kernel launch, NCCL
+    setup).
+    """
+
+    bandwidth: float = 25 * GBPS
+    latency: float = 1.0e-5
+    efficiency: float = 0.75
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.bandwidth * self.efficiency
+
+    def with_bandwidth(self, gbps: float) -> "NetworkSpec":
+        """The paper's slow-network (token-bucket) configurations."""
+        return replace(self, bandwidth=gbps * GBPS)
+
+    def transfer_time(self, num_bytes: float) -> float:
+        return self.latency + num_bytes / self.effective_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of single-GPU machines (the paper's setting:
+    experiments with K GPUs use K separate machines)."""
+
+    num_machines: int
+    machine: MachineSpec = MachineSpec()
+    network: NetworkSpec = NetworkSpec()
+
+    def __post_init__(self):
+        if self.num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
+
+    def all_reduce_time(self, num_bytes: float) -> float:
+        """Ring all-reduce: each NIC moves ~2(K-1)/K of the payload.
+
+        Priced at full line rate (no efficiency derate): a ring moves one
+        steady point-to-point stream per direction, which — unlike the
+        scattered feature all-to-alls — avoids incast and sustains the SLA
+        bandwidth (NCCL's design point).
+        """
+        k = self.num_machines
+        if k == 1:
+            return 0.0
+        wire_bytes = 2.0 * (k - 1) / k * num_bytes
+        return 2 * self.network.latency + wire_bytes / self.network.bandwidth

@@ -1,0 +1,114 @@
+"""Simulated collectives with exact byte accounting.
+
+Gradient synchronization really averages the per-machine gradient arrays
+(so distributed training is bit-identical across machines), and every
+collective reports the bytes it would move, which the performance model
+prices using the :class:`~repro.distributed.cluster.NetworkSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+@dataclass
+class CommLedger:
+    """Cumulative communication volumes (bytes) for one epoch/run.
+
+    ``feature_bytes[k, j]`` — feature payload machine ``k`` received from
+    machine ``j``; ``request_bytes`` — vertex-id request lists (8 bytes/id);
+    ``gradient_bytes[k]`` — all-reduce wire bytes per machine.
+    """
+
+    num_machines: int
+    feature_bytes: np.ndarray = field(default=None)
+    request_bytes: np.ndarray = field(default=None)
+    gradient_bytes: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        k = self.num_machines
+        if self.feature_bytes is None:
+            self.feature_bytes = np.zeros((k, k), dtype=np.float64)
+        if self.request_bytes is None:
+            self.request_bytes = np.zeros((k, k), dtype=np.float64)
+        if self.gradient_bytes is None:
+            self.gradient_bytes = np.zeros(k, dtype=np.float64)
+
+    def record_feature_fetch(self, machine: int, remote_per_peer: np.ndarray,
+                             bytes_per_row: int) -> None:
+        rows = np.asarray(remote_per_peer, dtype=np.float64)
+        self.feature_bytes[machine] += rows * bytes_per_row
+        self.request_bytes[machine] += rows * 8  # one int64 id per requested row
+
+    def record_all_reduce(self, wire_bytes_per_machine: float) -> None:
+        self.gradient_bytes += wire_bytes_per_machine
+
+    def total_feature_bytes(self) -> float:
+        return float(self.feature_bytes.sum())
+
+    def total_bytes(self) -> float:
+        return float(self.feature_bytes.sum() + self.request_bytes.sum()
+                     + self.gradient_bytes.sum())
+
+    def merged(self, other: "CommLedger") -> "CommLedger":
+        out = CommLedger(self.num_machines)
+        out.feature_bytes = self.feature_bytes + other.feature_bytes
+        out.request_bytes = self.request_bytes + other.request_bytes
+        out.gradient_bytes = self.gradient_bytes + other.gradient_bytes
+        return out
+
+
+def gradient_nbytes(model: Module) -> int:
+    """Wire size of one full gradient (sent as float32, as NCCL would)."""
+    return int(sum(p.data.size for p in model.parameters()) * 4)
+
+
+def all_reduce_gradients(
+    models: List[Module],
+    ledger: Optional[CommLedger] = None,
+) -> None:
+    """Average gradients across per-machine model replicas, in place.
+
+    Parameters missing a gradient on some machine contribute zeros (that
+    machine's batch never touched them), matching DDP semantics.  After this
+    call every replica holds identical averaged gradients, so identical
+    optimizer states yield identical weights — the invariant the test suite
+    checks.
+    """
+    if not models:
+        raise ValueError("no models to reduce")
+    k = len(models)
+    named = [dict(m.named_parameters()) for m in models]
+    keys = list(named[0].keys())
+    for nd in named[1:]:
+        if list(nd.keys()) != keys or any(
+            nd[k2].data.shape != named[0][k2].data.shape for k2 in keys
+        ):
+            raise ValueError("model replicas have mismatched parameters")
+
+    for key in keys:
+        params = [nd[key] for nd in named]
+        avg = None
+        for p in params:
+            g = p.grad if p.grad is not None else 0.0
+            avg = g if avg is None else avg + g
+        avg = avg / k if not np.isscalar(avg) else np.zeros_like(params[0].data)
+        for p in params:
+            p.grad = np.array(avg, copy=True)
+
+    if ledger is not None and k > 1:
+        nbytes = gradient_nbytes(models[0])
+        ledger.record_all_reduce(2.0 * (k - 1) / k * nbytes)
+
+
+def broadcast_state(models: List[Module], source: int = 0) -> None:
+    """Copy machine ``source``'s weights to all replicas (training start)."""
+    state = models[source].state_dict()
+    for i, m in enumerate(models):
+        if i != source:
+            m.load_state_dict(state)

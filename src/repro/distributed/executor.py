@@ -1,0 +1,271 @@
+"""Distributed data-parallel GNN training over the partitioned feature store.
+
+One Python process simulates K single-GPU machines: each machine owns a
+partition of the (reordered) training vertices, samples its own minibatches
+from its own RNG stream, gathers features through the partitioned store
+(local GPU/CPU tiers, static cache, remote peers), computes forward/backward
+on its own model replica, and synchronizes gradients with an all-reduce —
+the same bulk-synchronous step structure as SALIENT++ on a real cluster.
+
+Every step produces a :class:`StepRecord` with the exact workload volumes
+(MFG sizes, candidate edges examined by the sampler, per-category feature
+rows, per-peer remote rows, model FLOPs); the discrete-event performance
+model replays these records to produce epoch times.  ``dry_run`` epochs skip
+the numpy GNN math but record identical volumes, which keeps big timing
+sweeps cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.comm import (
+    CommLedger,
+    all_reduce_gradients,
+    broadcast_state,
+    gradient_nbytes,
+)
+from repro.distributed.feature_store import GatherStats, PartitionedFeatureStore
+from repro.nn.functional import accuracy, cross_entropy
+from repro.nn.models import MFGModel, build_model
+from repro.nn.optim import Adam
+from repro.partition.reorder import ReorderedDataset
+from repro.sampling.mfg import MFG
+from repro.sampling.neighbor import NeighborSampler
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass
+class StepRecord:
+    """Workload volumes for one machine's minibatch step."""
+
+    machine: int
+    step: int
+    batch_size: int
+    mfg_vertices: int
+    mfg_edges: int
+    candidate_edges: int  # adjacency entries the sampler examined
+    block_sizes: Tuple[Tuple[int, int, int], ...]  # (num_src, num_dst, edges)
+    gather: GatherStats
+    loss: Optional[float] = None
+
+    def flops(self, in_dim: int, hidden_dim: int, out_dim: int) -> float:
+        """Forward+backward GEMM FLOPs of a SAGE stack on this MFG.
+
+        Per block: two dense (rows × d_in × d_out) products (self + neighbor
+        branches) for forward; backward costs ~2x forward.
+        """
+        dims = [in_dim] + [hidden_dim] * (len(self.block_sizes) - 1) + [out_dim]
+        total = 0.0
+        # blocks are stored hop-1-first; layer i consumes block L-1-i.
+        for layer, (num_src, num_dst, edges) in enumerate(reversed(self.block_sizes)):
+            d_in, d_out = dims[layer], dims[layer + 1]
+            gemm = 2.0 * num_dst * d_in * d_out * 2  # self + neighbor branch
+            agg = 2.0 * edges * d_in                 # mean aggregation
+            total += gemm + agg
+        return 3.0 * total  # fwd + ~2x bwd
+
+
+@dataclass
+class EpochReport:
+    """One training epoch's functional results and workload trace."""
+
+    epoch: int
+    records: List[StepRecord]
+    ledger: CommLedger
+    mean_loss: Optional[float]
+    steps_per_machine: int
+
+    def records_for(self, machine: int) -> List[StepRecord]:
+        return [r for r in self.records if r.machine == machine]
+
+    def total_remote_rows(self) -> int:
+        return int(sum(r.gather.remote_rows for r in self.records))
+
+    def total_cached_rows(self) -> int:
+        return int(sum(r.gather.cached_rows for r in self.records))
+
+
+def _candidate_edges(degrees: np.ndarray, mfg: MFG) -> int:
+    """Adjacency entries examined while sampling this MFG: every hop scans
+    the full neighbor list of every destination."""
+    total = 0
+    for block in mfg.blocks:
+        total += int(degrees[mfg.n_id[:block.num_dst]].sum())
+    return total
+
+
+class DistributedTrainer:
+    """Bulk-synchronous data-parallel trainer over K simulated machines.
+
+    Parameters
+    ----------
+    reordered:
+        Partition-contiguous dataset (see :func:`repro.partition.reorder_dataset`).
+    store:
+        Feature store built over the same reordered dataset.
+    fanouts / batch_size:
+        Per-hop sampling fanouts and per-machine minibatch size.
+    hidden_dim / arch / dropout / lr:
+        Model and optimizer hyperparameters (one replica per machine, all
+        initialized identically and kept in lock-step by all-reduce).
+    """
+
+    def __init__(
+        self,
+        reordered: ReorderedDataset,
+        store: PartitionedFeatureStore,
+        *,
+        fanouts: Sequence[int],
+        batch_size: int,
+        hidden_dim: int = 64,
+        arch: str = "sage",
+        dropout: float = 0.0,
+        lr: float = 1e-3,
+        seed: SeedLike = 0,
+    ):
+        if store.num_machines != reordered.num_parts:
+            raise ValueError("store and reordered dataset disagree on machine count")
+        self.reordered = reordered
+        self.store = store
+        self.ds = reordered.dataset
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.batch_size = int(batch_size)
+        self.hidden_dim = hidden_dim
+        self.arch = arch
+        self.seed = seed
+        self.num_machines = reordered.num_parts
+
+        self.samplers = [
+            NeighborSampler(self.ds.graph, self.fanouts,
+                            seed=derive_seed(seed, "sampler", k))
+            for k in range(self.num_machines)
+        ]
+        self.models: List[MFGModel] = [
+            build_model(arch, self.ds.feature_dim, hidden_dim, self.ds.num_classes,
+                        len(self.fanouts), dropout=dropout,
+                        seed=derive_seed(seed, "model"))
+            for _ in range(self.num_machines)
+        ]
+        broadcast_state(self.models)  # identical initial weights
+        self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
+        self.local_train = [reordered.local_train_ids(k) for k in range(self.num_machines)]
+
+    # ------------------------------------------------------------------
+    def steps_per_epoch(self) -> int:
+        """Lock-step step count: the minimum full-batch count across
+        machines (the paper's partitioner balances training vertices, so
+        machines lose at most one partial batch each)."""
+        counts = [len(ids) // self.batch_size for ids in self.local_train]
+        return max(1, min(counts)) if min(counts) > 0 else 1
+
+    def gradient_nbytes(self) -> int:
+        return gradient_nbytes(self.models[0])
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
+        """Run one synchronous epoch; ``dry_run`` records volumes only."""
+        steps = self.steps_per_epoch()
+        ledger = CommLedger(self.num_machines)
+        records: List[StepRecord] = []
+        degrees = self.ds.graph.degrees
+
+        iterators = [
+            self.samplers[k].batches(
+                self.local_train[k], self.batch_size,
+                drop_last=True, epoch=epoch, seed=derive_seed(self.seed, "order", k),
+            )
+            for k in range(self.num_machines)
+        ]
+
+        losses = []
+        for step in range(steps):
+            step_losses = []
+            for k in range(self.num_machines):
+                mfg = next(iterators[k])
+                feats, stats = self.store.gather(k, mfg.n_id)
+                ledger.record_feature_fetch(k, stats.remote_per_peer,
+                                            self.store.bytes_per_row)
+                loss_val = None
+                if not dry_run:
+                    model = self.models[k]
+                    model.train()
+                    logits = model(feats, mfg)
+                    loss = cross_entropy(logits, self.ds.labels[mfg.seeds])
+                    model.zero_grad()
+                    loss.backward()
+                    loss_val = loss.item()
+                    step_losses.append(loss_val)
+                records.append(StepRecord(
+                    machine=k,
+                    step=step,
+                    batch_size=mfg.batch_size,
+                    mfg_vertices=mfg.num_vertices,
+                    mfg_edges=mfg.num_edges,
+                    candidate_edges=_candidate_edges(degrees, mfg),
+                    block_sizes=tuple(
+                        (b.num_src, b.num_dst, b.num_edges) for b in mfg.blocks
+                    ),
+                    gather=stats,
+                    loss=loss_val,
+                ))
+            if not dry_run:
+                all_reduce_gradients(self.models, ledger)
+                for opt in self.optimizers:
+                    opt.step()
+                losses.extend(step_losses)
+
+        return EpochReport(
+            epoch=epoch,
+            records=records,
+            ledger=ledger,
+            mean_loss=float(np.mean(losses)) if losses else None,
+            steps_per_machine=steps,
+        )
+
+    def train(self, epochs: int, *, dry_run: bool = False) -> List[EpochReport]:
+        return [self.train_epoch(e, dry_run=dry_run) for e in range(epochs)]
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        split: str = "val",
+        *,
+        fanouts: Optional[Sequence[int]] = None,
+        batch_size: Optional[int] = None,
+        seed: SeedLike = 1234,
+    ) -> float:
+        """Distributed minibatch inference accuracy on a split (§2.4: reuse
+        the training forward path with inference fanouts)."""
+        ids = {"val": self.ds.val_idx, "test": self.ds.test_idx,
+               "train": self.ds.train_idx}[split]
+        fanouts = tuple(fanouts) if fanouts is not None else self.fanouts
+        batch_size = batch_size or self.batch_size
+        sampler = NeighborSampler(self.ds.graph, fanouts,
+                                  seed=derive_seed(seed, "inference"))
+        model = self.models[0]
+        model.eval()
+        correct = total = 0
+        owner = self.reordered.owner_of(ids)
+        for k in range(self.num_machines):
+            local_ids = ids[owner == k]
+            for mfg in sampler.batches(local_ids, batch_size, shuffle=False):
+                feats, _ = self.store.gather(k, mfg.n_id)
+                logits = model(feats, mfg)
+                pred = logits.data.argmax(axis=1)
+                correct += int((pred == self.ds.labels[mfg.seeds]).sum())
+                total += len(mfg.seeds)
+        return correct / max(total, 1)
+
+    def models_in_sync(self) -> bool:
+        """True if all replicas hold bit-identical weights (test hook)."""
+        ref = self.models[0].state_dict()
+        for m in self.models[1:]:
+            for k2, v in m.state_dict().items():
+                if not np.array_equal(ref[k2], v):
+                    return False
+        return True

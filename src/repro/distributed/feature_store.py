@@ -1,0 +1,287 @@
+"""Partitioned feature storage with CPU/GPU tiers and a static remote cache.
+
+Implements §4.1–4.2 of the paper over a :class:`ReorderedDataset` (vertices
+contiguous per partition, VIP-ordered within):
+
+* each machine owns the feature rows of its partition, split into a *GPU
+  prefix* (the first ``gpu_fraction`` of local rows under the current
+  ordering — most-accessed first when VIP reordering is on) and a CPU
+  remainder;
+* each machine holds a static cache of remote rows selected by a caching
+  policy; cache membership is one boolean lookup (the paper uses a hash
+  table; a bitmap plus a compact row map is the numpy equivalent);
+* gathering features for a sampled neighborhood categorizes every vertex as
+  local-GPU / local-CPU / cached-remote / remote-per-peer, returns the
+  correctly assembled feature matrix, and reports exact per-category row
+  counts — the quantities the performance model charges for.
+
+This is *functional* storage: remote rows are really copied out of the
+owning machine's store, so tests can assert bit-identical results against
+direct indexing of the monolithic feature array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.partition.reorder import ReorderedDataset
+
+
+@dataclass
+class GatherStats:
+    """Exact per-category row counts for one gather (one minibatch).
+
+    ``remote_per_peer[j]`` is the number of rows requested from machine
+    ``j`` (0 for self and for fully cached peers).
+    """
+
+    total_rows: int
+    gpu_rows: int
+    cpu_rows: int
+    cached_rows: int
+    remote_rows: int
+    remote_per_peer: np.ndarray
+
+    def remote_fraction(self) -> float:
+        return self.remote_rows / max(self.total_rows, 1)
+
+
+class MachineStore:
+    """One machine's feature storage (local split + remote cache)."""
+
+    def __init__(
+        self,
+        part_id: int,
+        lo: int,
+        hi: int,
+        local_features: np.ndarray,
+        gpu_rows: int,
+        cache_ids: np.ndarray,
+        cache_features: np.ndarray,
+        num_vertices: int,
+    ):
+        if not 0 <= gpu_rows <= hi - lo:
+            raise ValueError(f"gpu_rows must be in [0, {hi - lo}], got {gpu_rows}")
+        if len(cache_ids) != len(cache_features):
+            raise ValueError("cache_ids and cache_features must align")
+        self.part_id = part_id
+        self.lo, self.hi = lo, hi
+        self.local_features = local_features
+        self.gpu_rows = gpu_rows
+        self.cache_ids = np.asarray(cache_ids, dtype=np.int64)
+        self.cache_features = cache_features
+        # O(1) membership + row lookup (bitmap stands in for the hash table).
+        self._cache_mask = np.zeros(num_vertices, dtype=bool)
+        self._cache_row = np.zeros(num_vertices, dtype=np.int64)
+        if len(self.cache_ids):
+            if self._cache_mask[self.cache_ids].any():
+                raise ValueError("duplicate cache ids")
+            self._cache_mask[self.cache_ids] = True
+            self._cache_row[self.cache_ids] = np.arange(len(self.cache_ids))
+
+    @property
+    def num_local(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def num_cached(self) -> int:
+        return len(self.cache_ids)
+
+    def is_local(self, ids: np.ndarray) -> np.ndarray:
+        return (ids >= self.lo) & (ids < self.hi)
+
+    def is_cached(self, ids: np.ndarray) -> np.ndarray:
+        return self._cache_mask[ids]
+
+    def local_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Feature rows for local vertex ids."""
+        return self.local_features[ids - self.lo]
+
+    def cached_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Feature rows for cached remote vertex ids."""
+        return self.cache_features[self._cache_row[ids]]
+
+    def feature_memory_bytes(self) -> int:
+        return int(self.local_features.nbytes + self.cache_features.nbytes)
+
+
+class PartitionedFeatureStore:
+    """The cluster-wide feature store: one :class:`MachineStore` per machine.
+
+    Build with :meth:`build`; query with :meth:`gather` (machine-local view
+    of an arbitrary vertex-id set, with remote rows served by peer stores).
+    """
+
+    def __init__(self, stores: List[MachineStore], reordered: ReorderedDataset,
+                 feature_dim: int, itemsize: int):
+        self.stores = stores
+        self.reordered = reordered
+        self.feature_dim = feature_dim
+        self.itemsize = itemsize
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        reordered: ReorderedDataset,
+        *,
+        gpu_fraction: float = 1.0,
+        caches: Optional[Sequence[np.ndarray]] = None,
+    ) -> "PartitionedFeatureStore":
+        """Partition the reordered dataset's features across machines.
+
+        Parameters
+        ----------
+        gpu_fraction:
+            Fraction β of each machine's local rows stored on GPU (the first
+            β·|local| rows in the current ordering — Figure 6's x-axis).
+        caches:
+            Per-machine arrays of remote vertex ids to replicate (from
+            :func:`repro.vip.build_caches`); ``None`` = no caching.
+        """
+        if not 0.0 <= gpu_fraction <= 1.0:
+            raise ValueError(f"gpu_fraction must be in [0, 1], got {gpu_fraction}")
+        ds = reordered.dataset
+        K = reordered.num_parts
+        if caches is None:
+            caches = [np.empty(0, dtype=np.int64)] * K
+        if len(caches) != K:
+            raise ValueError(f"need one cache per machine, got {len(caches)}")
+
+        stores = []
+        for k in range(K):
+            lo, hi = reordered.part_range(k)
+            cache_ids = np.asarray(caches[k], dtype=np.int64)
+            if len(cache_ids):
+                owners = reordered.owner_of(cache_ids)
+                if np.any(owners == k):
+                    raise ValueError(f"machine {k} cache contains local vertices")
+            local = np.ascontiguousarray(ds.features[lo:hi])
+            stores.append(MachineStore(
+                part_id=k,
+                lo=lo,
+                hi=hi,
+                local_features=local,
+                gpu_rows=int(round(gpu_fraction * (hi - lo))),
+                cache_ids=cache_ids,
+                cache_features=np.ascontiguousarray(ds.features[cache_ids]),
+                num_vertices=ds.num_vertices,
+            ))
+        return cls(stores, reordered, ds.feature_dim, ds.features.itemsize)
+
+    @classmethod
+    def build_replicated(
+        cls,
+        reordered: ReorderedDataset,
+        *,
+        gpu_fraction: float = 0.0,
+    ) -> "PartitionedFeatureStore":
+        """SALIENT-style full replication: every machine sees every feature
+        row as local CPU data (sharing one read-only array, so memory stays
+        O(N·D) in the simulation while *accounting* reports K·N·D).
+
+        The returned store reports zero remote and cached rows — exactly the
+        baseline of Table 1 row 1.
+        """
+        ds = reordered.dataset
+        K = reordered.num_parts
+        n = ds.num_vertices
+        shared = np.ascontiguousarray(ds.features)
+        empty_ids = np.empty(0, dtype=np.int64)
+        empty_feats = np.empty((0, ds.feature_dim), dtype=ds.features.dtype)
+        stores = [
+            MachineStore(
+                part_id=k, lo=0, hi=n,
+                local_features=shared,
+                gpu_rows=int(round(gpu_fraction * n)),
+                cache_ids=empty_ids,
+                cache_features=empty_feats,
+                num_vertices=n,
+            )
+            for k in range(K)
+        ]
+        store = cls(stores, reordered, ds.feature_dim, ds.features.itemsize)
+        store._replicated = True
+        return store
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return len(self.stores)
+
+    @property
+    def is_replicated(self) -> bool:
+        return getattr(self, "_replicated", False)
+
+    @property
+    def bytes_per_row(self) -> int:
+        return self.feature_dim * self.itemsize
+
+    def gather(self, machine: int, ids: np.ndarray):
+        """Gather feature rows for ``ids`` as seen from ``machine``.
+
+        Returns ``(features, stats)``: the assembled ``(len(ids), D)`` matrix
+        and the exact :class:`GatherStats` for the performance model.  Remote
+        rows are copied from the owning peers' local stores (never from any
+        monolithic array), so correctness of the distributed layout is
+        exercised on every call.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        store = self.stores[machine]
+        K = self.num_machines
+        out = np.empty((len(ids), self.feature_dim), dtype=store.local_features.dtype)
+
+        local_mask = store.is_local(ids)
+        local_ids = ids[local_mask]
+        out[local_mask] = store.local_rows(local_ids)
+        gpu_rows = int(np.count_nonzero(local_ids - store.lo < store.gpu_rows))
+        cpu_rows = len(local_ids) - gpu_rows
+
+        nonlocal_mask = ~local_mask
+        nl_ids = ids[nonlocal_mask]
+        cached_mask_nl = store.is_cached(nl_ids)
+        cached_ids = nl_ids[cached_mask_nl]
+        cached_pos = np.flatnonzero(nonlocal_mask)[cached_mask_nl]
+        out[cached_pos] = store.cached_rows(cached_ids)
+
+        remote_pos = np.flatnonzero(nonlocal_mask)[~cached_mask_nl]
+        remote_ids = nl_ids[~cached_mask_nl]
+        remote_per_peer = np.zeros(K, dtype=np.int64)
+        if len(remote_ids):
+            owners = self.reordered.owner_of(remote_ids)
+            for peer in np.unique(owners):
+                sel = owners == peer
+                peer_store = self.stores[peer]
+                out[remote_pos[sel]] = peer_store.local_rows(remote_ids[sel])
+                remote_per_peer[peer] = int(sel.sum())
+
+        stats = GatherStats(
+            total_rows=len(ids),
+            gpu_rows=gpu_rows,
+            cpu_rows=cpu_rows,
+            cached_rows=len(cached_ids),
+            remote_rows=len(remote_ids),
+            remote_per_peer=remote_per_peer,
+        )
+        return out, stats
+
+    # ------------------------------------------------------------------
+    def total_feature_memory_bytes(self) -> int:
+        """Sum of local + cached feature bytes over all machines (the
+        Figure 5 right-plot quantity; full replication would be K·N·D·item)."""
+        return int(sum(s.feature_memory_bytes() for s in self.stores))
+
+    def replication_factor(self) -> float:
+        """Realized α: cached rows per machine relative to N/K (§3.2)."""
+        n = self.reordered.dataset.num_vertices
+        cached = sum(s.num_cached for s in self.stores)
+        return cached / max(n, 1)
+
+    def memory_multiple(self) -> float:
+        """Total feature memory as a multiple of the unreplicated data set
+        (the ``1 + α`` axis of Figure 5)."""
+        base = self.reordered.dataset.features.nbytes
+        return self.total_feature_memory_bytes() / max(base, 1)

@@ -1,0 +1,43 @@
+"""Graph substrate: CSR storage, synthetic generators, benchmark datasets."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi,
+    pareto_degree_weights,
+    power_law_community_graph,
+    rmat,
+    stochastic_block_model,
+)
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    GraphDataset,
+    load_dataset,
+    make_features,
+    make_mag240c_mini,
+    make_papers_mini,
+    make_products_mini,
+    make_splits,
+    make_synthetic_dataset,
+    make_tiny,
+)
+
+__all__ = [
+    "CSRGraph",
+    "chung_lu",
+    "erdos_renyi",
+    "pareto_degree_weights",
+    "power_law_community_graph",
+    "rmat",
+    "stochastic_block_model",
+    "DATASET_REGISTRY",
+    "GraphDataset",
+    "load_dataset",
+    "make_features",
+    "make_mag240c_mini",
+    "make_papers_mini",
+    "make_products_mini",
+    "make_splits",
+    "make_synthetic_dataset",
+    "make_tiny",
+]

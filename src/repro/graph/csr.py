@@ -1,0 +1,256 @@
+"""Immutable compressed-sparse-row (CSR) graph.
+
+The CSR layout is the workhorse of the whole system: the neighborhood sampler
+walks ``indptr``/``indices`` directly, VIP analysis converts the structure to
+``scipy.sparse`` transition matrices, and the partitioner coarsens it level by
+level.  Graphs are immutable after construction; all transformations return
+new instances.
+
+Vertex ids are ``0..num_vertices-1``.  ``indices[indptr[v]:indptr[v+1]]`` are
+the *out*-neighbors of ``v``; for undirected graphs each edge appears in both
+directions (as in OGB preprocessing — see Table 2 of the paper, "edge counts
+reflect the graph after making it undirected").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class CSRGraph:
+    """A directed graph in CSR form (use :meth:`to_undirected` to symmetrize).
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``; monotonically
+        non-decreasing, ``indptr[0] == 0``, ``indptr[-1] == num_edges``.
+    indices:
+        Flat neighbor array of length ``num_edges``.
+    check:
+        Validate structural invariants (O(V+E)); disable only on hot paths
+        that construct graphs from already-validated parts.
+    """
+
+    __slots__ = ("indptr", "indices", "_degrees", "_is_sorted")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, check: bool = True):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._degrees: Optional[np.ndarray] = None
+        self._is_sorted: Optional[bool] = None
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        src: Iterable[int],
+        dst: Iterable[int],
+        num_vertices: Optional[int] = None,
+        *,
+        dedup: bool = False,
+        sort_neighbors: bool = True,
+    ) -> "CSRGraph":
+        """Build a graph from parallel ``src``/``dst`` arrays.
+
+        Parameters
+        ----------
+        num_vertices:
+            Total vertex count; inferred as ``max(src, dst) + 1`` if omitted.
+        dedup:
+            Drop duplicate ``(src, dst)`` pairs.
+        sort_neighbors:
+            Sort each adjacency list (required by some downstream consumers;
+            cheap relative to the counting sort).
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError(f"src and dst must have equal length, got {src.size} vs {dst.size}")
+        if num_vertices is None:
+            num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        if src.size and (src.min() < 0 or dst.min() < 0 or
+                         src.max() >= num_vertices or dst.max() >= num_vertices):
+            raise ValueError("edge endpoints out of range")
+
+        order = np.lexsort((dst, src)) if (sort_neighbors or dedup) else np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        if dedup and src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(src[1:], src[:-1], out=keep[1:])
+            keep[1:] |= dst[1:] != dst[:-1]
+            src, dst = src[keep], dst[keep]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, check=False)
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix) -> "CSRGraph":
+        """Build from any scipy sparse matrix (pattern only; values ignored)."""
+        csr = mat.tocsr()
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError(f"adjacency matrix must be square, got {csr.shape}")
+        return cls(csr.indptr.astype(np.int64), csr.indices.astype(np.int64), check=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed adjacency entries (2x edge count if undirected)."""
+        return len(self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max(initial=0))
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(self.num_vertices, 1)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` (a view into ``indices``; do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """Transpose: edge (u, v) becomes (v, u)."""
+        src, dst = self.edges()
+        return CSRGraph.from_edges(dst, src, self.num_vertices)
+
+    def to_undirected(self, *, remove_self_loops: bool = False) -> "CSRGraph":
+        """Symmetrize: keep each (u, v) and add (v, u); deduplicate.
+
+        Mirrors the OGB preprocessing used by the paper ("all graphs were
+        made undirected").
+        """
+        src, dst = self.edges()
+        if remove_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        return CSRGraph.from_edges(all_src, all_dst, self.num_vertices, dedup=True)
+
+    def remove_self_loops(self) -> "CSRGraph":
+        src, dst = self.edges()
+        keep = src != dst
+        return CSRGraph.from_edges(src[keep], dst[keep], self.num_vertices)
+
+    def relabel(self, new_of_old: np.ndarray) -> "CSRGraph":
+        """Apply a vertex permutation: vertex ``v`` becomes ``new_of_old[v]``.
+
+        Used by the partition-contiguous + VIP reordering (paper §4.1).
+        """
+        new_of_old = np.asarray(new_of_old, dtype=np.int64)
+        if new_of_old.shape != (self.num_vertices,):
+            raise ValueError("new_of_old must have one entry per vertex")
+        if np.bincount(new_of_old, minlength=self.num_vertices).max(initial=1) != 1:
+            raise ValueError("new_of_old must be a permutation")
+        src, dst = self.edges()
+        return CSRGraph.from_edges(new_of_old[src], new_of_old[dst], self.num_vertices)
+
+    def induced_subgraph(self, vertices: np.ndarray) -> Tuple["CSRGraph", np.ndarray]:
+        """Subgraph on ``vertices`` with local relabeling.
+
+        Returns ``(subgraph, vertices)`` where subgraph vertex ``i``
+        corresponds to global vertex ``vertices[i]``.
+        """
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        local_of_global = np.full(self.num_vertices, -1, dtype=np.int64)
+        local_of_global[vertices] = np.arange(len(vertices))
+        src, dst = self.edges()
+        keep = (local_of_global[src] >= 0) & (local_of_global[dst] >= 0)
+        sub = CSRGraph.from_edges(
+            local_of_global[src[keep]], local_of_global[dst[keep]], len(vertices)
+        )
+        return sub, vertices
+
+    # ------------------------------------------------------------------
+    # Export / comparison
+    # ------------------------------------------------------------------
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return parallel (src, dst) arrays of all directed edges."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        return src, self.indices.copy()
+
+    def to_scipy(self, dtype=np.float64) -> sp.csr_matrix:
+        """Pattern matrix with unit weights (rows = sources)."""
+        data = np.ones(self.num_edges, dtype=dtype)
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    def is_undirected(self) -> bool:
+        """True if the adjacency pattern is symmetric."""
+        a = self.to_scipy(dtype=np.int8)
+        return (a != a.T).nnz == 0
+
+    def has_sorted_neighbors(self) -> bool:
+        if self._is_sorted is None:
+            if len(self.indices) <= 1:
+                self._is_sorted = True
+            else:
+                d = np.diff(self.indices)
+                boundary = np.zeros(len(self.indices), dtype=bool)
+                starts = self.indptr[1:-1]  # first slot of each later list
+                boundary[starts[starts < len(self.indices)]] = True
+                self._is_sorted = bool(np.all((d > 0) | boundary[1:]))
+        return self._is_sorted
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (np.array_equal(self.indptr, other.indptr)
+                and np.array_equal(self.indices, other.indices))
+
+    def __hash__(self):
+        return hash((self.num_vertices, self.num_edges,
+                     self.indices[:16].tobytes() if self.num_edges else b""))
+
+    def __repr__(self) -> str:
+        return (f"CSRGraph(num_vertices={self.num_vertices}, "
+                f"num_edges={self.num_edges}, avg_degree={self.avg_degree:.2f})")
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0:
+            raise ValueError(f"indptr[0] must be 0, got {self.indptr[0]}")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError(
+                f"indptr[-1] ({self.indptr[-1]}) must equal len(indices) ({len(self.indices)})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_vertices
+        ):
+            raise ValueError("neighbor index out of range")

@@ -1,0 +1,41 @@
+"""Numpy GNN substrate: autograd, layers, models, optimizers, losses."""
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module, Parameter
+from repro.nn import functional
+from repro.nn.functional import accuracy, cross_entropy
+from repro.nn.layers import Dropout, GATConv, GINConv, Linear, SAGEConv
+from repro.nn.models import (
+    GAT,
+    GIN,
+    GraphSAGE,
+    MFGModel,
+    MLP,
+    MODEL_REGISTRY,
+    build_model,
+)
+from repro.nn.optim import Adam, Optimizer, SGD
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "functional",
+    "accuracy",
+    "cross_entropy",
+    "Dropout",
+    "GATConv",
+    "GINConv",
+    "Linear",
+    "SAGEConv",
+    "GAT",
+    "GIN",
+    "GraphSAGE",
+    "MFGModel",
+    "MLP",
+    "MODEL_REGISTRY",
+    "build_model",
+    "Adam",
+    "Optimizer",
+    "SGD",
+]

@@ -1,0 +1,332 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+The GNN substrate needs a small, predictable op set — dense matmul, broadcast
+arithmetic, activations, gathers, and segment reductions — so this engine
+favors clarity over generality: a :class:`Tensor` wraps an ``ndarray``, ops
+record closures, and :meth:`Tensor.backward` replays them in reverse
+topological order.  All gradient math is vectorized numpy; there is no
+per-element Python work anywhere.
+
+Gradient correctness for every op is pinned by numerical-difference tests in
+``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from extent 1.
+    for axis, extent in enumerate(shape):
+        if extent == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array (coerced to ``float64`` by default for gradcheck-friendly
+        precision; pass ``float32`` data explicitly for bulk feature math).
+    requires_grad:
+        Track operations on this tensor for backpropagation.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            raise TypeError("cannot nest Tensor in Tensor")
+        self.data = np.asarray(data, dtype=np.float64) if not isinstance(data, np.ndarray) \
+            else data
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            # Copy: incoming grads may alias another node's buffer.
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (defaults to ∂self/∂self = 1)."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Optional[Callable[[], None]]) -> "Tensor":
+        out = Tensor(data)
+        tracked = tuple(p for p in parents if p.requires_grad)
+        if tracked:
+            out.requires_grad = True
+            out._parents = tracked
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(np.asarray(other))
+        out_data = self.data + other.data
+
+        def backward():
+            g = out.grad
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.data.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward():
+            self._accumulate(-out.grad)
+
+        out = Tensor._make(-self.data, (self,), backward)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(np.asarray(other))
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return (-self) + other
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(np.asarray(other))
+        out_data = self.data * other.data
+
+        def backward():
+            g = out.grad
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.data.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return self * other.reciprocal()
+        return self * (1.0 / np.asarray(other))
+
+    def reciprocal(self) -> "Tensor":
+        out_data = 1.0 / self.data
+
+        def backward():
+            self._accumulate(-out.grad * out_data * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        if not isinstance(other, Tensor):
+            other = Tensor(np.asarray(other))
+        if self.ndim != 2 or other.ndim != 2:
+            raise ValueError("matmul supports 2-D tensors only")
+        out_data = self.data @ other.data
+
+        def backward():
+            g = out.grad
+            if self.requires_grad:
+                self._accumulate(g @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ g)
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward():
+            g = out.grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+
+        def backward():
+            self._accumulate(out.grad.reshape(self.data.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        def backward():
+            self._accumulate(out.grad.T)
+
+        out = Tensor._make(self.data.T, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward():
+            self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward():
+            self._accumulate(out.grad * np.where(mask, 1.0, negative_slope))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward():
+            self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward():
+            self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward():
+            self._accumulate(out.grad * (1.0 - out_data * out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def gather_rows(self, index: np.ndarray) -> "Tensor":
+        """Row gather ``out[i] = self[index[i]]`` (scatter-add backward)."""
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data[index]
+
+        def backward():
+            g = np.zeros_like(self.data)
+            np.add.at(g, index, out.grad)
+            self._accumulate(g)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def slice_rows(self, start: int, stop: int) -> "Tensor":
+        """Contiguous row slice (cheaper backward than gather)."""
+        out_data = self.data[start:stop]
+
+        def backward():
+            g = np.zeros_like(self.data)
+            g[start:stop] = out.grad
+            self._accumulate(g)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out

@@ -1,0 +1,155 @@
+"""Functional ops on :class:`~repro.nn.autograd.Tensor`: segment reductions,
+concatenation, dropout, and losses.
+
+Segment ops operate on CSR-style contiguous segments (an MFG block's
+``dst_ptr``), which keeps both the forward (``reduceat``) and the backward
+(``repeat`` / scatter) passes fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def _segment_sum_data(data: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    n_seg = len(ptr) - 1
+    out = np.zeros((n_seg,) + data.shape[1:], dtype=data.dtype)
+    lengths = np.diff(ptr)
+    rows = np.flatnonzero(lengths > 0)
+    if len(rows):
+        out[rows] = np.add.reduceat(data, ptr[rows], axis=0)
+    return out
+
+
+def segment_sum(x: Tensor, ptr: np.ndarray) -> Tensor:
+    """Sum rows of ``x`` within each contiguous segment ``[ptr[i], ptr[i+1])``.
+
+    Empty segments produce zero rows (a vertex whose sampled neighborhood is
+    empty aggregates to zeros, matching PyG semantics).
+    """
+    ptr = np.asarray(ptr, dtype=np.int64)
+    if ptr[-1] != len(x.data):
+        raise ValueError(f"ptr[-1] ({ptr[-1]}) must equal len(x) ({len(x.data)})")
+    out_data = _segment_sum_data(x.data, ptr)
+
+    def backward():
+        x._accumulate(np.repeat(out.grad, np.diff(ptr), axis=0))
+
+    out = Tensor._make(out_data, (x,), backward)
+    return out
+
+
+def segment_mean(x: Tensor, ptr: np.ndarray) -> Tensor:
+    """Mean over contiguous segments (empty segments produce zeros)."""
+    ptr = np.asarray(ptr, dtype=np.int64)
+    counts = np.maximum(np.diff(ptr), 1).astype(x.data.dtype)
+    total = segment_sum(x, ptr)
+    return total * Tensor((1.0 / counts)[:, None])
+
+
+def segment_softmax(x: Tensor, ptr: np.ndarray) -> Tensor:
+    """Softmax within each contiguous segment (per-destination attention).
+
+    ``x`` has one row per edge; the result sums to 1 within each destination's
+    edge segment.  Numerically stabilized with a per-segment max shift.
+    """
+    ptr = np.asarray(ptr, dtype=np.int64)
+    if ptr[-1] != len(x.data):
+        raise ValueError("ptr[-1] must equal len(x)")
+    lengths = np.diff(ptr)
+    rows = np.flatnonzero(lengths > 0)
+    seg_max = np.zeros((len(ptr) - 1,) + x.data.shape[1:], dtype=x.data.dtype)
+    if len(rows):
+        seg_max[rows] = np.maximum.reduceat(x.data, ptr[rows], axis=0)
+    shifted = x.data - np.repeat(seg_max, lengths, axis=0)
+    e = np.exp(shifted)
+    denom = np.repeat(_segment_sum_data(e, ptr), lengths, axis=0)
+    out_data = e / np.maximum(denom, 1e-30)
+
+    def backward():
+        g = out.grad
+        # d softmax: s * (g - sum_j g_j s_j) within each segment.
+        dot = _segment_sum_data(g * out_data, ptr)
+        x._accumulate(out_data * (g - np.repeat(dot, lengths, axis=0)))
+
+    out = Tensor._make(out_data, (x,), backward)
+    return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate along ``axis`` (backward splits the gradient)."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    offsets = np.cumsum([0] + [d.shape[axis] for d in datas])
+
+    def backward():
+        g = out.grad
+        slicer = [slice(None)] * g.ndim
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer[axis] = slice(int(lo), int(hi))
+                t._accumulate(g[tuple(slicer)])
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p``, scale by
+    ``1/(1-p)`` during training; identity in eval mode."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask.astype(x.data.dtype))
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax (stable)."""
+    shift = x.data - x.data.max(axis=1, keepdims=True)
+    e = np.exp(shift)
+    logsumexp = np.log(e.sum(axis=1, keepdims=True))
+    out_data = shift - logsumexp
+    softmax = e / e.sum(axis=1, keepdims=True)
+
+    def backward():
+        g = out.grad
+        x._accumulate(g - softmax * g.sum(axis=1, keepdims=True))
+
+    out = Tensor._make(out_data, (x,), backward)
+    return out
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of row-wise logits against integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or len(labels) != logits.shape[0]:
+        raise ValueError("logits must be (N, C) with one label per row")
+    n = logits.shape[0]
+    lsm = log_softmax(logits)
+    picked_data = lsm.data[np.arange(n), labels]
+    out_data = np.asarray(-picked_data.mean())
+
+    def backward():
+        g = np.zeros_like(lsm.data)
+        g[np.arange(n), labels] = -out.grad / n
+        lsm._accumulate(g)
+
+    out = Tensor._make(out_data, (lsm,), backward)
+    return out
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits (or a Tensor's data) against labels."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = data.argmax(axis=1)
+    labels = np.asarray(labels)
+    if len(labels) == 0:
+        return float("nan")
+    return float((pred == labels).mean())

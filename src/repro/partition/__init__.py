@@ -1,0 +1,33 @@
+"""Graph partitioning: METIS-like multilevel partitioner, baselines, metrics,
+and the partition-contiguous (VIP-ordered) dataset reordering of paper §4.1."""
+
+from repro.partition.interface import (
+    Partition,
+    PartitionReport,
+    balance,
+    edge_cut,
+    evaluate_partition,
+)
+from repro.partition.multilevel import metis_like_partition
+from repro.partition.baselines import (
+    bfs_partition,
+    hash_partition,
+    ldg_partition,
+    random_partition,
+)
+from repro.partition.reorder import ReorderedDataset, reorder_dataset
+
+__all__ = [
+    "Partition",
+    "PartitionReport",
+    "balance",
+    "edge_cut",
+    "evaluate_partition",
+    "metis_like_partition",
+    "bfs_partition",
+    "hash_partition",
+    "ldg_partition",
+    "random_partition",
+    "ReorderedDataset",
+    "reorder_dataset",
+]

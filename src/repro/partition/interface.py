@@ -1,0 +1,146 @@
+"""Partition representation and quality metrics.
+
+SALIENT++ consumes a k-way vertex partition (the paper uses METIS with an
+edge-cut objective and multi-constraint balancing on train/val/test vertex
+counts and edge counts — §1 and §4.1).  This module defines the partition
+datatype shared by the METIS-like partitioner and the baselines, plus the
+quality metrics used by tests and the partitioner-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class Partition:
+    """A k-way vertex partition.
+
+    Attributes
+    ----------
+    assignment:
+        ``int64`` array mapping vertex id -> partition id in ``[0, num_parts)``.
+    num_parts:
+        Number of partitions K.
+    """
+
+    assignment: np.ndarray
+    num_parts: int
+    _members: Optional[List[np.ndarray]] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.num_parts <= 0:
+            raise ValueError(f"num_parts must be positive, got {self.num_parts}")
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= self.num_parts
+        ):
+            raise ValueError("assignment entries must be in [0, num_parts)")
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.assignment)
+
+    def members(self, part: int) -> np.ndarray:
+        """Vertex ids in ``part`` (ascending), cached."""
+        if self._members is None:
+            order = np.argsort(self.assignment, kind="stable")
+            sizes = self.sizes()
+            bounds = np.concatenate([[0], np.cumsum(sizes)])
+            self._members = [
+                np.sort(order[bounds[k]:bounds[k + 1]]) for k in range(self.num_parts)
+            ]
+        return self._members[part]
+
+    def sizes(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def owner_of(self, vertices: np.ndarray) -> np.ndarray:
+        return self.assignment[np.asarray(vertices, dtype=np.int64)]
+
+    def __repr__(self) -> str:
+        return f"Partition(num_parts={self.num_parts}, num_vertices={self.num_vertices})"
+
+
+def edge_cut(graph: CSRGraph, partition: Partition) -> int:
+    """Number of undirected edges crossing partition boundaries.
+
+    Assumes an undirected graph (each edge stored in both directions), so the
+    directed crossing count is halved.
+    """
+    src, dst = graph.edges()
+    crossing = int(np.sum(partition.assignment[src] != partition.assignment[dst]))
+    return crossing // 2
+
+
+def balance(
+    partition: Partition,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Load imbalance: max over parts of (part weight / ideal weight).
+
+    ``weights`` is per-vertex (default 1.0).  A perfectly balanced partition
+    scores 1.0; METIS-style tolerances are typically 1.01-1.1.
+    """
+    w = np.ones(partition.num_vertices) if weights is None else np.asarray(weights, dtype=np.float64)
+    part_w = np.bincount(partition.assignment, weights=w, minlength=partition.num_parts)
+    ideal = w.sum() / partition.num_parts
+    if ideal == 0:
+        return 1.0
+    return float(part_w.max() / ideal)
+
+
+@dataclass
+class PartitionReport:
+    """Quality summary used by tests and the partitioner ablation bench."""
+
+    num_parts: int
+    edge_cut: int
+    edge_cut_fraction: float
+    vertex_balance: float
+    edge_balance: float
+    role_balance: Dict[str, float]
+
+    def as_rows(self):
+        rows = [
+            ["parts", self.num_parts],
+            ["edge cut", self.edge_cut],
+            ["edge cut fraction", f"{self.edge_cut_fraction:.4f}"],
+            ["vertex balance", f"{self.vertex_balance:.3f}"],
+            ["edge balance", f"{self.edge_balance:.3f}"],
+        ]
+        rows.extend([f"{k} balance", f"{v:.3f}"] for k, v in sorted(self.role_balance.items()))
+        return rows
+
+
+def evaluate_partition(
+    graph: CSRGraph,
+    partition: Partition,
+    role_indices: Optional[Dict[str, np.ndarray]] = None,
+) -> PartitionReport:
+    """Compute the metrics the paper's partitioning pipeline balances.
+
+    ``role_indices`` maps role name (e.g. "train") -> vertex ids; the balance
+    of each role across parts mirrors the METIS balancing constraints used in
+    the paper (training/validation/test vertices and edges per partition).
+    """
+    cut = edge_cut(graph, partition)
+    undirected_edges = graph.num_edges // 2
+    role_balance = {}
+    for name, idx in (role_indices or {}).items():
+        w = np.zeros(partition.num_vertices)
+        w[np.asarray(idx, dtype=np.int64)] = 1.0
+        role_balance[name] = balance(partition, w)
+    return PartitionReport(
+        num_parts=partition.num_parts,
+        edge_cut=cut,
+        edge_cut_fraction=cut / max(undirected_edges, 1),
+        vertex_balance=balance(partition),
+        edge_balance=balance(partition, graph.degrees.astype(np.float64)),
+        role_balance=role_balance,
+    )

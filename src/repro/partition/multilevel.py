@@ -1,0 +1,448 @@
+"""METIS-like multilevel k-way graph partitioner.
+
+The paper partitions OGB graphs with METIS using an edge-cut minimization
+objective plus balancing constraints on the number of training, validation,
+test, and overall vertices as well as edges per partition (§1, §4.1).  METIS
+is unavailable here, so this module implements the same three-phase multilevel
+scheme from scratch:
+
+1. **Coarsening** — repeated randomized heavy-edge matching contracts the
+   graph until it is small; contracted vertices carry summed multi-constraint
+   weight vectors and contracted parallel edges carry summed edge weights.
+2. **Initial partitioning** — greedy balanced growth on the coarsest graph,
+   preferring the partition with the strongest edge connection among those
+   with balance headroom.
+3. **Uncoarsening with refinement** — the partition is projected back level
+   by level; at each level a boundary Fiduccia–Mattheyses-style pass moves
+   vertices with positive cut gain to their most connected feasible part,
+   respecting every balance constraint.
+
+All heavy loops are vectorized; only the coarsest-level initial partition and
+the per-pass move application (over the handful of positive-gain boundary
+vertices) iterate in Python, in line with the repo's numpy-first idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.interface import Partition
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    indptr: np.ndarray      # CSR over coarse vertices
+    indices: np.ndarray
+    edge_weights: np.ndarray
+    vertex_weights: np.ndarray  # (n, C) multi-constraint weights
+    fine_to_coarse: Optional[np.ndarray]  # map from previous level (None at finest)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+
+def metis_like_partition(
+    graph: CSRGraph,
+    num_parts: int,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    balance_tolerance: float = 1.08,
+    coarsen_until: Optional[int] = None,
+    matching_rounds: int = 3,
+    refine_passes: int = 4,
+    seed: SeedLike = 0,
+) -> Partition:
+    """Partition ``graph`` into ``num_parts`` parts minimizing edge cut.
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph (both edge directions present).
+    vertex_weights:
+        ``(N, C)`` multi-constraint weights; every constraint column is kept
+        within ``balance_tolerance`` of its ideal per-part share.  Defaults to
+        unit weights (vertex-count balance only).  Callers reproducing the
+        paper pass columns for total/train/val/test vertices; edge balance is
+        added automatically as an extra column of vertex degrees.
+    balance_tolerance:
+        Maximum allowed ``part_weight / ideal_weight`` per constraint.
+    coarsen_until:
+        Stop coarsening below this many vertices.  The default
+        ``max(128*k, n/8)`` stops early enough that community-scale structure
+        survives contraction (aggressive coarsening merges across communities
+        once supernodes approach community size, which permanently degrades
+        the achievable cut).
+
+    Returns
+    -------
+    Partition
+    """
+    n = graph.num_vertices
+    if num_parts <= 0:
+        raise ValueError(f"num_parts must be positive, got {num_parts}")
+    if num_parts > max(n, 1):
+        raise ValueError(f"cannot split {n} vertices into {num_parts} parts")
+    if num_parts == 1 or n == 0:
+        return Partition(np.zeros(n, dtype=np.int64), num_parts)
+    if balance_tolerance < 1.0:
+        raise ValueError(f"balance_tolerance must be >= 1, got {balance_tolerance}")
+
+    rng = as_generator(seed)
+    vw = _normalize_vertex_weights(graph, vertex_weights)
+    if coarsen_until is None:
+        coarsen_until = max(128 * num_parts, n // 8)
+
+    levels = _coarsen(graph, vw, coarsen_until, matching_rounds, rng)
+    coarsest = levels[-1]
+
+    # Balance tolerances are relaxed at coarse levels (where single
+    # supernodes carry large weight and a tight cap may be infeasible) and
+    # tightened to the requested tolerance by level 0, as in METIS.
+    def tol_at(level_idx: int) -> float:
+        if len(levels) == 1:
+            return balance_tolerance
+        frac = level_idx / (len(levels) - 1)
+        return balance_tolerance + 0.5 * frac
+
+    part = _initial_partition(coarsest, num_parts, tol_at(len(levels) - 1), rng)
+    part = _refine(coarsest, part, num_parts, tol_at(len(levels) - 1), refine_passes, rng)
+
+    # Project back through the hierarchy, refining at every level.
+    for level_idx in range(len(levels) - 2, -1, -1):
+        fine = levels[level_idx]
+        part = part[levels[level_idx + 1].fine_to_coarse]
+        part = _refine(fine, part, num_parts, tol_at(level_idx), refine_passes, rng)
+
+    return Partition(part.astype(np.int64), num_parts)
+
+
+# ----------------------------------------------------------------------
+# Phase 1: coarsening
+# ----------------------------------------------------------------------
+
+def _normalize_vertex_weights(graph: CSRGraph, vw: Optional[np.ndarray]) -> np.ndarray:
+    if vw is None:
+        out = np.ones((graph.num_vertices, 1), dtype=np.float64)
+    else:
+        out = np.asarray(vw, dtype=np.float64)
+        if out.ndim == 1:
+            out = out[:, None]
+        if out.shape[0] != graph.num_vertices:
+            raise ValueError(
+                f"vertex_weights rows ({out.shape[0]}) != vertices ({graph.num_vertices})"
+            )
+        if np.any(out < 0):
+            raise ValueError("vertex_weights must be non-negative")
+    # Edge balance as an extra constraint column (paper balances edges too).
+    return np.column_stack([out, graph.degrees.astype(np.float64)])
+
+
+def _coarsen(
+    graph: CSRGraph,
+    vertex_weights: np.ndarray,
+    coarsen_until: int,
+    matching_rounds: int,
+    rng: np.random.Generator,
+) -> List[_Level]:
+    level = _Level(
+        indptr=graph.indptr,
+        indices=graph.indices,
+        edge_weights=np.ones(graph.num_edges, dtype=np.float64),
+        vertex_weights=vertex_weights,
+        fine_to_coarse=None,
+    )
+    levels = [level]
+    while level.num_vertices > coarsen_until:
+        matched = _heavy_edge_matching(level, matching_rounds, rng)
+        coarse, reduction = _contract(level, matched)
+        if reduction > 0.95:  # matching stalled; further levels won't help
+            break
+        levels.append(coarse)
+        level = coarse
+    return levels
+
+
+def _heavy_edge_matching(level: _Level, rounds: int, rng: np.random.Generator) -> np.ndarray:
+    """Randomized heavy-edge matching via weighted proposals + acceptance.
+
+    Per round: every unmatched vertex proposes to one unmatched neighbor,
+    sampled with probability proportional to edge weight (exponential race);
+    each vertex accepts its highest-priority proposer; conflicts (a vertex in
+    both an accepted pair and its own accepted proposal) are resolved Luby
+    style by keeping pairs that hold the max random priority at both
+    endpoints.  This matches a large constant fraction per round even on
+    power-law graphs, where naive mutual-proposal matching herds onto hubs
+    and stalls.
+    """
+    n = level.num_vertices
+    indptr, indices, ew = level.indptr, level.indices, level.edge_weights
+    m = len(indices)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    mate = np.full(n, -1, dtype=np.int64)
+    nonempty_rows = np.flatnonzero(np.diff(indptr) > 0)
+    # Starts of non-empty CSR segments; because skipped segments are empty,
+    # reduceat over these starts reduces exactly each vertex's edge range.
+    seg_starts = indptr[nonempty_rows]
+
+    for _ in range(rounds):
+        unmatched = mate < 0
+        if not unmatched.any():
+            break
+        # Eligible edges: both endpoints unmatched, not a self loop.
+        elig = unmatched[src] & unmatched[indices] & (src != indices)
+        # Exponential race: argmax of ew/Exp(1) samples a neighbor with
+        # probability proportional to edge weight.
+        race = ew / rng.exponential(1.0, size=m)
+        key = np.where(elig, race, -1.0)
+        cand = np.full(n, -1, dtype=np.int64)
+        if len(seg_starts):
+            seg_len = np.diff(indptr)[nonempty_rows]
+            seg_max = np.maximum.reduceat(key, seg_starts)
+            # Every edge lies in some non-empty segment, so broadcasting the
+            # per-segment max back over edges covers the whole edge array.
+            seg_max_per_edge = np.repeat(seg_max, seg_len)
+            # Position of the per-segment argmax: min edge index attaining it.
+            pos_of_max = np.where(key == seg_max_per_edge,
+                                  np.arange(m, dtype=np.int64), m)
+            best_pos = np.minimum.reduceat(pos_of_max, seg_starts)
+            valid = (seg_max > 0) & (best_pos < m)
+            cand[nonempty_rows[valid]] = indices[best_pos[valid]]
+
+        proposers = np.flatnonzero(cand >= 0)
+        if len(proposers) == 0:
+            break
+        targets = cand[proposers]
+        # Acceptance: each target keeps its max-priority proposer.
+        prio = rng.random(n)
+        max_prio = np.zeros(n)
+        np.maximum.at(max_prio, targets, prio[proposers])
+        accepted = proposers[prio[proposers] == max_prio[targets]]
+        pa, pb = accepted, cand[accepted]
+        # Conflict resolution: a vertex may sit in two tentative pairs (as
+        # proposer and as acceptor); keep pairs that are max-priority at both
+        # endpoints.
+        pair_prio = rng.random(len(pa))
+        best = np.full(n, -1.0)
+        np.maximum.at(best, pa, pair_prio)
+        np.maximum.at(best, pb, pair_prio)
+        keep = (pair_prio == best[pa]) & (pair_prio == best[pb])
+        a, b = pa[keep], pb[keep]
+        mate[a] = b
+        mate[b] = a
+    return mate
+
+
+def _contract(level: _Level, mate: np.ndarray) -> Tuple[_Level, float]:
+    """Contract matched pairs into coarse vertices; returns (level, n_c/n)."""
+    n = level.num_vertices
+    # Representative of each vertex: min(v, mate) for matched, self otherwise.
+    rep = np.where(mate >= 0, np.minimum(np.arange(n), mate), np.arange(n))
+    is_rep = rep == np.arange(n)
+    coarse_of_rep = np.cumsum(is_rep) - 1
+    fine_to_coarse = coarse_of_rep[rep]
+    nc = int(is_rep.sum())
+
+    # Aggregate multi-constraint vertex weights.
+    cvw = np.zeros((nc, level.vertex_weights.shape[1]), dtype=np.float64)
+    np.add.at(cvw, fine_to_coarse, level.vertex_weights)
+
+    # Contract edges: relabel endpoints, drop self loops, sum parallels.
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(level.indptr))
+    csrc = fine_to_coarse[src]
+    cdst = fine_to_coarse[level.indices]
+    keep = csrc != cdst
+    csrc, cdst, cew = csrc[keep], cdst[keep], level.edge_weights[keep]
+    key = csrc * nc + cdst
+    uniq, inverse = np.unique(key, return_inverse=True)
+    weights = np.bincount(inverse, weights=cew)
+    usrc = (uniq // nc).astype(np.int64)
+    udst = (uniq % nc).astype(np.int64)
+    indptr = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(usrc, minlength=nc), out=indptr[1:])
+
+    coarse = _Level(
+        indptr=indptr,
+        indices=udst,
+        edge_weights=weights,
+        vertex_weights=cvw,
+        fine_to_coarse=fine_to_coarse,
+    )
+    return coarse, nc / max(n, 1)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: initial partition of the coarsest graph
+# ----------------------------------------------------------------------
+
+def _initial_partition(
+    level: _Level,
+    k: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy graph growing (GGGP): grow each part breadth-first from a seed,
+    always absorbing the unassigned vertex with the strongest connection to
+    the growing region, until the part reaches its ideal share on any
+    constraint.  Leftover vertices join the least-loaded part; refinement
+    cleans up afterwards."""
+    import heapq
+
+    n = level.num_vertices
+    vw = level.vertex_weights
+    ideal = np.maximum(vw.sum(axis=0) / k, 1e-12)
+    loads = np.zeros((k, vw.shape[1]), dtype=np.float64)
+    part = np.full(n, -1, dtype=np.int64)
+    indptr, indices, ew = level.indptr, level.indices, level.edge_weights
+    conn = np.zeros(n, dtype=np.float64)  # connection to the current region
+
+    unassigned_order = rng.permutation(n)
+    cursor = 0
+
+    for p in range(k - 1):
+        # Seed: first unassigned vertex in random order.
+        while cursor < n and part[unassigned_order[cursor]] >= 0:
+            cursor += 1
+        if cursor >= n:
+            break
+        seed = int(unassigned_order[cursor])
+        heap = [(-1.0, seed)]
+        conn[seed] = 1.0
+        while heap and np.all(loads[p] < ideal):
+            neg_c, v = heapq.heappop(heap)
+            if part[v] >= 0 or -neg_c < conn[v]:
+                continue  # stale entry
+            part[v] = p
+            loads[p] += vw[v]
+            for pos in range(indptr[v], indptr[v + 1]):
+                u = int(indices[pos])
+                if part[u] < 0:
+                    conn[u] += ew[pos]
+                    heapq.heappush(heap, (-conn[u], u))
+
+    # Remaining vertices: the last part, unless it would blow past the cap,
+    # in which case spill to the least-loaded (normalized) part.
+    rest = np.flatnonzero(part < 0)
+    cap = tol * ideal
+    for v in rest:
+        p = k - 1
+        if np.any(loads[p] + vw[v] > cap):
+            p = int(np.argmin(loads[:, 0] / ideal[0]))
+        part[v] = p
+        loads[p] += vw[v]
+    return part
+
+
+# ----------------------------------------------------------------------
+# Phase 3: boundary FM refinement
+# ----------------------------------------------------------------------
+
+def _refine(
+    level: _Level,
+    part: np.ndarray,
+    k: int,
+    tol: float,
+    passes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boundary refinement: move positive-gain vertices to their most
+    connected part while all balance constraints stay within tolerance.
+
+    Vertices in over-cap parts are also moved (to the best *feasible* part)
+    regardless of gain sign — this doubles as the balance-repair step after
+    projection from a coarser level, where supernode granularity may have
+    left parts outside tolerance.
+    """
+    part = part.copy()
+    n = level.num_vertices
+    vw = level.vertex_weights
+    ideal = np.maximum(vw.sum(axis=0) / k, 1e-12)
+    cap = tol * ideal
+    floor = max(2.0 - tol, 0.25) * ideal  # keep source parts from draining
+    loads = np.zeros((k, vw.shape[1]), dtype=np.float64)
+    np.add.at(loads, part, vw)
+
+    indptr, indices, ew = level.indptr, level.indices, level.edge_weights
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+    for _ in range(passes):
+        crossing = part[src] != part[indices]
+        if not crossing.any():
+            break
+        boundary = np.unique(src[crossing])
+        pos = np.full(n, -1, dtype=np.int64)
+        pos[boundary] = np.arange(len(boundary))
+
+        # Connection weight of each boundary vertex to every part.
+        conn = np.zeros((len(boundary), k), dtype=np.float64)
+        on_b = pos[src] >= 0
+        np.add.at(conn, (pos[src[on_b]], part[indices[on_b]]), ew[on_b])
+
+        own_part = part[boundary]
+        own = conn[np.arange(len(boundary)), own_part]
+        gains = conn - own[:, None]
+        gains[np.arange(len(boundary)), own_part] = -np.inf
+        best_gain = gains.max(axis=1)
+
+        src_over = np.any(loads[own_part] > cap[None, :] * (1 + 1e-9), axis=1)
+        movers = np.flatnonzero((best_gain > 1e-12) | src_over)
+        if len(movers) == 0:
+            break
+        # Apply in descending-gain order; gains are not recomputed within the
+        # pass (standard one-sided FM approximation), so only strictly
+        # positive moves are taken for balanced sources and the outer loop
+        # re-evaluates.  The loop body uses plain Python scalars: per-mover
+        # numpy calls would dominate the partitioner's runtime.
+        order = movers[np.argsort(-best_gain[movers], kind="stable")]
+        target_rank = np.argsort(-gains[order], axis=1, kind="stable")
+        gains_ord = gains[order]
+        vs = boundary[order]
+        vw_rows = vw[vs].tolist()
+        loads_py = loads.tolist()
+        cap_py = cap.tolist()
+        floor_py = floor.tolist()
+        ncon = vw.shape[1]
+        part_py = part  # direct int64 array access is fine for scalar reads
+
+        moved = 0
+        for j in range(len(order)):
+            v = int(vs[j])
+            cur = int(part_py[v])
+            w = vw_rows[j]
+            lcur = loads_py[cur]
+            over = any(lcur[c] > cap_py[c] * (1 + 1e-9) for c in range(ncon))
+            # Try targets in descending-gain order; for balanced sources only
+            # strictly positive gains qualify, over-cap sources may move at a
+            # loss to restore balance.
+            grow = gains_ord[j]
+            for tgt in target_rank[j]:
+                tgt = int(tgt)
+                g = grow[tgt]
+                if tgt == cur or g == -np.inf:
+                    break
+                if g <= 1e-12 and not over:
+                    break
+                ltgt = loads_py[tgt]
+                if any(ltgt[c] + w[c] > cap_py[c] for c in range(ncon)):
+                    continue
+                if not over and any(
+                    lcur[c] - w[c] < min(floor_py[c], lcur[c]) for c in range(ncon)
+                ):
+                    continue
+                part_py[v] = tgt
+                for c in range(ncon):
+                    ltgt[c] += w[c]
+                    lcur[c] -= w[c]
+                moved += 1
+                break
+        loads = np.asarray(loads_py)
+        if moved == 0:
+            break
+    return part

@@ -1,0 +1,19 @@
+"""Performance model: cost model + discrete-event pipeline simulator."""
+
+from repro.pipeline.costmodel import (
+    CostModel,
+    ModelDims,
+    StageTimes,
+    served_rows_matrix,
+)
+from repro.pipeline.simulator import PipelineMode, PipelineResult, simulate_epoch
+
+__all__ = [
+    "CostModel",
+    "ModelDims",
+    "StageTimes",
+    "served_rows_matrix",
+    "PipelineMode",
+    "PipelineResult",
+    "simulate_epoch",
+]

@@ -1,0 +1,253 @@
+"""Discrete-event simulation of SALIENT++'s minibatch-preparation pipeline.
+
+Schedules the stage graph of every (machine, step) minibatch onto per-machine
+CPU / GPU / PCIe / NIC resources, honoring:
+
+* stage dependencies within a minibatch (sample → slice/comm → h2d → train);
+* collective synchronization across machines (request exchange, feature
+  all-to-all, gradient all-reduce are per-step rendezvous);
+* the bounded pipeline depth (at most ``depth`` minibatches in flight per
+  machine — 10 in SALIENT++, §4.3);
+* the chosen pipeline mode (see :class:`PipelineMode`).
+
+Because every dependency points to an earlier (step, stage) pair and each
+resource serves tasks in (step, stage) order — SALIENT++'s pipeline is a
+chain of FIFO queues — the schedule is computed with one linear sweep instead
+of an event heap, which keeps epoch simulation O(steps × machines).
+
+The simulator yields the epoch makespan and a Figure-8-style attribution
+(Train / Train-sync / Startup / Batch-prep compute / Batch-prep comm).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.executor import EpochReport, StepRecord
+from repro.pipeline.costmodel import CostModel, StageTimes, served_rows_matrix
+
+
+class PipelineMode(enum.Enum):
+    """How much of the minibatch preparation overlaps with training.
+
+    FULL
+        SALIENT++: all stages pipelined, communication included.
+    BLOCKING_COMM
+        Feature communication happens synchronously in the training loop
+        (Table 1 row "+ Partitioned features": sampling is still prepared in
+        the background, but each step's remote fetch blocks training).
+    OFF
+        Fully sequential minibatches (the "pipelining off" breakdown of
+        Figure 8).
+    """
+
+    FULL = "full"
+    BLOCKING_COMM = "blocking_comm"
+    OFF = "off"
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of simulating one epoch."""
+
+    epoch_time: float
+    num_steps: int
+    num_machines: int
+    breakdown: Dict[str, float]
+    resource_busy: Dict[str, np.ndarray]  # resource -> (K,) busy seconds
+    first_train_start: float
+
+    def bottleneck_resource(self) -> str:
+        return max(self.resource_busy, key=lambda r: float(self.resource_busy[r].max()))
+
+
+def simulate_epoch(
+    report: EpochReport,
+    cost_model: CostModel,
+    *,
+    mode: PipelineMode = PipelineMode.FULL,
+    depth: int = 10,
+    include_allreduce: bool = True,
+) -> PipelineResult:
+    """Simulate one epoch from a functional :class:`EpochReport`.
+
+    Returns the epoch makespan (including pipeline warm-up, as the paper's
+    reported runtimes do) and per-category time attribution.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    K = report.ledger.num_machines
+    steps = report.steps_per_machine
+    by_step: List[List[StepRecord]] = [[] for _ in range(steps)]
+    for rec in report.records:
+        by_step[rec.step].append(rec)
+    for s, recs in enumerate(by_step):
+        recs.sort(key=lambda r: r.machine)
+        if len(recs) != K:
+            raise ValueError(f"step {s} has {len(recs)} records, expected {K}")
+
+    # Stage durations.
+    times: List[List[StageTimes]] = []
+    for recs in by_step:
+        served = served_rows_matrix(recs, K)
+        times.append([cost_model.stage_times(recs[k], int(served[k])) for k in range(K)])
+    allreduce_dur = cost_model.allreduce_time() if include_allreduce else 0.0
+
+    # Resource availability clocks.  The CPU is modeled as W parallel
+    # batch-preparation lanes per machine (SALIENT runs ~30 shared-memory
+    # sampling/slicing workers; 16 cores sustain several batches in flight).
+    workers = max(1, cost_model.cluster.machine.cpu_workers)
+    cpu = np.zeros((K, workers))
+    gpu = np.zeros(K)
+    pcie = np.zeros(K)
+    net = np.zeros(K)       # feature/metadata all-to-alls
+    grad_net = np.zeros(K)  # gradient all-reduce (own NCCL stream/channel)
+
+    # Completion times needed across steps.
+    done_train = np.zeros(K)          # TRAIN end of previous step
+    done_allreduce = 0.0              # ALLREDUCE end of previous step
+    release = np.zeros((steps, K))    # pipeline-slot release times
+    train_end = np.zeros((steps, K))
+    sync_wait = np.zeros((steps, K))
+    first_train_start = None
+
+    busy = {name: np.zeros(K) for name in ("cpu", "gpu", "pcie", "net", "grad_net")}
+
+    def run(clock: np.ndarray, k: int, ready: float, dur: float, name: str) -> float:
+        start = max(ready, clock[k])
+        clock[k] = start + dur
+        busy[name][k] += dur
+        return clock[k]
+
+    def run_cpu(k: int, ready: float, dur: float) -> float:
+        lane = int(np.argmin(cpu[k]))
+        start = max(ready, cpu[k, lane])
+        cpu[k, lane] = start + dur
+        busy["cpu"][k] += dur
+        return cpu[k, lane]
+
+    for s in range(steps):
+        st = times[s]
+
+        # --- SAMPLE (CPU): gated by the pipeline depth and mode. ---
+        sample_end = np.zeros(K)
+        for k in range(K):
+            ready = 0.0
+            if s >= depth:
+                ready = max(ready, release[s - depth, k])
+            if mode is PipelineMode.OFF and s > 0:
+                ready = max(ready, release[s - 1, k])
+            sample_end[k] = run_cpu(k, ready, st[k].sample)
+
+        # --- REQUEST_EXCHANGE (NET): per-step rendezvous. ---
+        any_comm = any(t.request_exchange > 0 or t.feature_comm > 0 for t in st)
+        if any_comm:
+            if mode is PipelineMode.BLOCKING_COMM:
+                # The training loop performs the fetch: it cannot start
+                # before the previous step's training finished anywhere
+                # (bulk-synchronous loop).
+                gate = max(float(done_train.max()), done_allreduce)
+            else:
+                gate = 0.0
+            req_ready = max(float(sample_end.max()), gate)
+            req_start = max(req_ready, float(net.max()))
+            req_end = np.zeros(K)
+            for k in range(K):
+                dur = st[k].request_exchange
+                net[k] = req_start + dur
+                busy["net"][k] += dur
+                req_end[k] = net[k]
+        else:
+            req_end = sample_end.copy()
+
+        # --- LOCAL_SLICE and SERVE_SLICE (CPU). ---
+        local_slice_end = np.zeros(K)
+        serve_end = np.zeros(K)
+        for k in range(K):
+            local_slice_end[k] = run_cpu(k, sample_end[k], st[k].local_slice)
+            serve_end[k] = run_cpu(k, req_end[k], st[k].serve_slice)
+
+        # --- FEATURE_COMM (NET): all-to-all; needs every server's slices. ---
+        if any_comm:
+            comm_ready = float(serve_end.max())
+            comm_start = max(comm_ready, float(net.max()))
+            comm_end = np.zeros(K)
+            for k in range(K):
+                dur = st[k].feature_comm
+                net[k] = comm_start + dur
+                busy["net"][k] += dur
+                comm_end[k] = net[k]
+        else:
+            comm_end = req_end.copy()
+
+        # --- H2D (PCIe) then GPU_GATHER + TRAIN (GPU). ---
+        for k in range(K):
+            h2d_ready = max(local_slice_end[k], comm_end[k])
+            h2d_end = run(pcie, k, h2d_ready, st[k].h2d, "pcie")
+            gather_end = run(gpu, k, h2d_end, st[k].gpu_gather, "gpu")
+            t_end = run(gpu, k, gather_end, st[k].train, "gpu")
+            train_end[s, k] = t_end
+        if first_train_start is None:
+            first_train_start = float(
+                min(train_end[0, k] - st[k].train for k in range(K))
+            )
+
+        # --- ALLREDUCE: global barrier closing the step, on the gradient
+        # channel (NCCL stream), so it does not serialize feature traffic.
+        # DDP bucketing overlaps the reduction with the backward pass, so it
+        # becomes ready about one-third into training (after the first
+        # buckets of the backward two-thirds are reduced). ---
+        if allreduce_dur > 0 and K > 1:
+            ar_ready = float(max(
+                train_end[s, k] - (2.0 / 3.0) * st[k].train for k in range(K)
+            ))
+            ar_start = max(ar_ready, float(grad_net.max()))
+            ar_end = ar_start + allreduce_dur
+            for k in range(K):
+                grad_net[k] = ar_end
+                busy["grad_net"][k] += allreduce_dur
+                sync_wait[s, k] = max(0.0, ar_end - train_end[s, k])
+            done_allreduce = ar_end
+            release[s] = np.maximum(ar_end, train_end[s])
+        else:
+            release[s] = train_end[s]
+            done_allreduce = float(train_end[s].max())
+        done_train = train_end[s].copy()
+
+    epoch_time = float(release[-1].max())
+
+    # ------------------------------------------------------------------
+    # Figure-8 style attribution (averaged over machines).
+    train_total = float(np.mean([sum(times[s][k].train for s in range(steps))
+                                 for k in range(K)]))
+    sync_total = float(np.mean(sync_wait.sum(axis=0)))
+    startup = float(first_train_start or 0.0)
+    prep_comp = float(np.mean([sum(times[s][k].preparation_compute()
+                                   + times[s][k].h2d for s in range(steps))
+                               for k in range(K)]))
+    prep_comm = float(np.mean([sum(times[s][k].preparation_comm() for s in range(steps))
+                               for k in range(K)]))
+    breakdown = {
+        "train": train_total,
+        "train_sync": sync_total,
+        "startup": startup,
+        "batch_prep_comp": prep_comp,
+        "batch_prep_comm": prep_comm,
+        # Residual: time not attributable to the above when stages overlap
+        # (zero-ish when pipelining is off).
+        "overlap_residual": max(
+            0.0, epoch_time - (train_total + sync_total + startup)
+        ),
+    }
+    return PipelineResult(
+        epoch_time=epoch_time,
+        num_steps=steps,
+        num_machines=K,
+        breakdown=breakdown,
+        resource_busy=busy,
+        first_train_start=startup,
+    )

@@ -1,0 +1,6 @@
+"""Node-wise neighborhood sampling and message-flow graphs."""
+
+from repro.sampling.mfg import MFG, MFGBlock
+from repro.sampling.neighbor import NeighborSampler, num_batches, sample_neighbors
+
+__all__ = ["MFG", "MFGBlock", "NeighborSampler", "num_batches", "sample_neighbors"]

@@ -1,0 +1,127 @@
+"""Message-flow graphs (MFGs) for minibatch GNN computation.
+
+An MFG is the output of L-hop node-wise neighborhood sampling for one
+minibatch: the set of vertices involved (``n_id``, seeds first) and one
+bipartite *block* per hop.  Block ``h`` connects sampled hop-``h`` sources to
+their hop-``h-1`` destinations; the GNN consumes blocks outermost-first
+(block ``L-1`` feeds model layer 1).
+
+The hop sets are cumulative — ``S_0 = seeds``, ``S_h = S_{h-1} ∪ sampled
+neighbors`` — and ``n_id`` is laid out so each ``S_h`` is a prefix.  A layer
+therefore reads its destination representations as a prefix of its source
+representations (how GraphSAGE-style UPD accesses "self" vectors without
+explicit self-loop edges).
+
+Edges inside a block are grouped by destination (``dst_ptr`` is a CSR-style
+offset array over destinations), so mean/sum aggregation is a single
+``reduceat`` over contiguous segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class MFGBlock:
+    """One hop's bipartite sampling block.
+
+    Attributes
+    ----------
+    dst_ptr:
+        ``(num_dst + 1,)`` offsets; sampled in-neighbors of destination ``i``
+        are ``src_index[dst_ptr[i]:dst_ptr[i+1]]``.
+    src_index:
+        Local indices (into the first ``num_src`` entries of the MFG's
+        ``n_id``) of sampled sources, grouped by destination.
+    num_src / num_dst:
+        Sizes of the source and destination vertex sets; destinations are the
+        first ``num_dst`` sources.
+    """
+
+    dst_ptr: np.ndarray
+    src_index: np.ndarray
+    num_src: int
+    num_dst: int
+
+    def __post_init__(self):
+        self.dst_ptr = np.asarray(self.dst_ptr, dtype=np.int64)
+        self.src_index = np.asarray(self.src_index, dtype=np.int64)
+        if len(self.dst_ptr) != self.num_dst + 1:
+            raise ValueError("dst_ptr length must be num_dst + 1")
+        if self.dst_ptr[-1] != len(self.src_index):
+            raise ValueError("dst_ptr[-1] must equal len(src_index)")
+        if self.num_dst > self.num_src:
+            raise ValueError("destinations must be a subset (prefix) of sources")
+        if len(self.src_index) and (
+            self.src_index.min() < 0 or self.src_index.max() >= self.num_src
+        ):
+            raise ValueError("src_index out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src_index)
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of sampled neighbors per destination."""
+        return np.diff(self.dst_ptr)
+
+
+@dataclass
+class MFG:
+    """A sampled L-hop neighborhood for one minibatch.
+
+    Attributes
+    ----------
+    n_id:
+        Global vertex ids of all involved vertices; ``n_id[:len(seeds)]`` are
+        the seeds and each hop set ``S_h`` is a prefix.
+    blocks:
+        ``blocks[h-1]`` is hop ``h`` (``blocks[0]`` has the seeds as
+        destinations).  The GNN iterates them in reverse.
+    seeds:
+        The minibatch vertices (global ids).
+    """
+
+    n_id: np.ndarray
+    blocks: List[MFGBlock]
+    seeds: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.n_id)
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return int(sum(b.num_edges for b in self.blocks))
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.seeds)
+
+    def hop_sizes(self) -> List[int]:
+        """|S_h| for h = 0..L (cumulative hop-set sizes)."""
+        sizes = [self.batch_size]
+        sizes.extend(b.num_src for b in self.blocks)
+        return sizes
+
+    def validate(self) -> None:
+        """Structural consistency checks (used by tests)."""
+        prev_dst = self.batch_size
+        for h, blk in enumerate(self.blocks):
+            if blk.num_dst != prev_dst:
+                raise AssertionError(
+                    f"block {h}: num_dst {blk.num_dst} != previous hop size {prev_dst}"
+                )
+            if blk.num_src < blk.num_dst:
+                raise AssertionError(f"block {h}: src smaller than dst")
+            prev_dst = blk.num_src
+        if self.blocks and self.blocks[-1].num_src != len(self.n_id):
+            raise AssertionError("outermost block src set must equal n_id")

@@ -1,0 +1,190 @@
+"""Vectorized node-wise neighborhood sampling.
+
+This is the Python counterpart of SALIENT's C++ ``fast_sampler``: for each
+destination vertex, sample at most ``fanout`` of its neighbors uniformly
+without replacement, independently across vertices and hops — exactly the
+random process analyzed by the paper's Proposition 1 (so the analytic VIP
+model and this sampler agree by construction, which the Monte-Carlo tests
+verify).
+
+The without-replacement draw uses the random-key trick: assign each candidate
+edge an i.i.d. uniform key and keep the ``fanout`` smallest keys per
+destination.  One global ``lexsort`` over the frontier's edges replaces any
+per-vertex Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.mfg import MFG, MFGBlock
+from repro.utils.rng import SeedLike, as_generator, derive_seed
+
+
+def sample_neighbors(
+    graph: CSRGraph,
+    targets: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ≤ ``fanout`` neighbors per target, uniformly without replacement.
+
+    Parameters
+    ----------
+    fanout:
+        Per-vertex cap; ``-1`` (or any negative) keeps all neighbors (full
+        neighborhood expansion).
+
+    Returns
+    -------
+    (dst_ptr, src_global):
+        CSR-style offsets over ``targets`` and the sampled global neighbor
+        ids, grouped per target.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    deg = graph.degrees[targets]
+    starts = graph.indptr[targets]
+
+    if fanout < 0:
+        take = deg
+    else:
+        take = np.minimum(deg, fanout)
+    dst_ptr = np.zeros(len(targets) + 1, dtype=np.int64)
+    np.cumsum(take, out=dst_ptr[1:])
+    total = int(dst_ptr[-1])
+    if total == 0:
+        return dst_ptr, np.empty(0, dtype=np.int64)
+
+    # Gather candidate edge positions for the whole frontier.
+    cand_total = int(deg.sum())
+    seg = np.repeat(np.arange(len(targets), dtype=np.int64), deg)
+    cand_starts = np.zeros(len(targets) + 1, dtype=np.int64)
+    np.cumsum(deg, out=cand_starts[1:])
+    # Position of each candidate within graph.indices.
+    rel = np.arange(cand_total, dtype=np.int64) - np.repeat(cand_starts[:-1], deg)
+    edge_pos = np.repeat(starts, deg) + rel
+
+    if fanout < 0 or np.all(take == deg):
+        return dst_ptr, graph.indices[edge_pos]
+
+    # Random-key selection: per segment, keep the `take` smallest keys.
+    # Combining the segment id and the key into one float (integer part =
+    # segment, fraction = key) makes this a single argsort, ~2-3x faster than
+    # lexsort; 52 mantissa bits leave ample randomness for any frontier size.
+    keys = seg.astype(np.float64) + rng.random(cand_total)
+    order = np.argsort(keys)
+    out_rel = np.arange(total, dtype=np.int64) - np.repeat(dst_ptr[:-1], take)
+    pick = order[np.repeat(cand_starts[:-1], take) + out_rel]
+    return dst_ptr, graph.indices[edge_pos[pick]]
+
+
+class NeighborSampler:
+    """L-hop node-wise sampler producing :class:`MFG` minibatches.
+
+    Parameters
+    ----------
+    graph:
+        The (typically undirected) graph to sample from.
+    fanouts:
+        Per-hop fanouts, hop 1 first — e.g. ``(15, 10, 5)`` samples 15
+        neighbors of each seed, then 10 of each hop-1 vertex, then 5.
+    seed:
+        Default randomness; :meth:`sample` also accepts an explicit ``rng``
+        so distributed machines can run independent streams.
+    """
+
+    def __init__(self, graph: CSRGraph, fanouts: Sequence[int], seed: SeedLike = None):
+        if len(fanouts) == 0:
+            raise ValueError("fanouts must be non-empty")
+        if any(f == 0 for f in fanouts):
+            raise ValueError("fanouts must be non-zero (use -1 for full expansion)")
+        self.graph = graph
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self._rng = as_generator(seed)
+        # Stamped membership table: avoids an O(N) clear per minibatch.
+        self._stamp = np.zeros(graph.num_vertices, dtype=np.int64)
+        self._local = np.zeros(graph.num_vertices, dtype=np.int64)
+        self._epoch = 0
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.fanouts)
+
+    def sample(self, seeds: np.ndarray, rng: Optional[np.random.Generator] = None) -> MFG:
+        """Sample the L-hop expanded neighborhood of ``seeds``."""
+        rng = self._rng if rng is None else rng
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if len(np.unique(seeds)) != len(seeds):
+            raise ValueError("seeds must be unique")
+
+        self._epoch += 1
+        stamp, local, epoch = self._stamp, self._local, self._epoch
+
+        n_id = [seeds]
+        count = len(seeds)
+        stamp[seeds] = epoch
+        local[seeds] = np.arange(count, dtype=np.int64)
+
+        frontier = seeds  # S_{h-1}: all vertices known so far are targets
+        blocks = []
+        for fanout in self.fanouts:
+            dst_ptr, src_global = sample_neighbors(self.graph, frontier, fanout, rng)
+            # Register newly seen vertices (sorted for determinism).
+            fresh_mask = stamp[src_global] != epoch
+            fresh = np.unique(src_global[fresh_mask])
+            stamp[fresh] = epoch
+            local[fresh] = count + np.arange(len(fresh), dtype=np.int64)
+            count += len(fresh)
+            n_id.append(fresh)
+
+            blocks.append(MFGBlock(
+                dst_ptr=dst_ptr,
+                src_index=local[src_global],
+                num_src=count,
+                num_dst=len(frontier),
+            ))
+            # Next hop expands every vertex seen so far (cumulative sets);
+            # concatenating the per-hop fresh lists preserves prefix order.
+            frontier = np.concatenate(n_id)
+
+        return MFG(n_id=np.concatenate(n_id), blocks=blocks, seeds=seeds)
+
+    def batches(
+        self,
+        ids: np.ndarray,
+        batch_size: int,
+        *,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        epoch: int = 0,
+        seed: SeedLike = None,
+    ) -> Iterator[MFG]:
+        """Iterate MFGs over ``ids`` in minibatches.
+
+        The shuffle order is derived from ``(seed, epoch)`` so epochs are
+        reproducible and distributed workers can coordinate steps.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = ids
+        if shuffle:
+            shuffle_rng = as_generator(derive_seed(seed, "shuffle", epoch))
+            order = ids[shuffle_rng.permutation(len(ids))]
+        n_full = len(order) // batch_size
+        end = n_full * batch_size if drop_last else len(order)
+        for start in range(0, end, batch_size):
+            batch = order[start:start + batch_size]
+            if len(batch) == 0:
+                break
+            yield self.sample(batch)
+
+
+def num_batches(num_ids: int, batch_size: int, drop_last: bool = False) -> int:
+    """Number of minibatches `batches()` will yield."""
+    if drop_last:
+        return num_ids // batch_size
+    return (num_ids + batch_size - 1) // batch_size

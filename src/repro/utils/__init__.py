@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG management, validation, table rendering.
+
+These helpers keep the rest of the codebase free of boilerplate around
+reproducible randomness (every stochastic component takes an explicit seed or
+:class:`numpy.random.Generator`) and consistent experiment reporting.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.tables import Table, format_bytes, format_seconds, format_count
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "Table",
+    "format_bytes",
+    "format_seconds",
+    "format_count",
+    "check_array",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+]

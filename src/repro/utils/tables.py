@@ -1,0 +1,102 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints paper-vs-measured tables for every reproduced
+table/figure; this module renders them with box-drawing-free ASCII so output
+survives log files and CI consoles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+class Table:
+    """A simple left/right-aligned ASCII table.
+
+    Example
+    -------
+    >>> t = Table(["system", "epoch (s)"], title="Table 1")
+    >>> t.add_row(["SALIENT", 20.7])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None,
+                 float_fmt: str = "{:.3f}"):
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.float_fmt = float_fmt
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> "Table":
+        self.rows.append([self._fmt(c) for c in cells])
+        return self
+
+    def add_rows(self, rows: Iterable[Iterable[Cell]]) -> "Table":
+        for row in rows:
+            self.add_row(row)
+        return self
+
+    def _fmt(self, cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return self.float_fmt.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        ncol = len(self.columns)
+        rows = [row + [""] * (ncol - len(row)) for row in self.rows]
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in rows)) if rows else len(self.columns[j])
+            for j in range(ncol)
+        ]
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        out = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * max(len(self.title), len(sep)))
+        out.append(line(self.columns))
+        out.append(sep)
+        out.extend(line(r) for r in rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable duration."""
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    return f"{s / 60.0:.1f} min"
+
+
+def format_count(n: float) -> str:
+    """Human-readable count (decimal units)."""
+    n = float(n)
+    for unit, div in (("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(n) >= div:
+            return f"{n / div:.2f}{unit}"
+    return f"{int(n)}"

@@ -1,0 +1,74 @@
+"""Vertex-inclusion-probability (VIP) analysis and caching policies.
+
+The paper's core contribution: an analytical model (Proposition 1) of which
+vertices a machine's minibatches will touch during node-wise neighborhood
+sampling, and the maximum-likelihood static caching policy it induces.
+"""
+
+from repro.vip.analytic import (
+    VIPResult,
+    expected_remote_volume,
+    partitionwise_vip,
+    transition_probabilities,
+    uniform_minibatch_probability,
+    vip_for_training_set,
+    vip_probabilities,
+)
+from repro.vip.empirical import (
+    montecarlo_inclusion_frequency,
+    simulate_access_counts,
+)
+from repro.vip.policies import (
+    CacheContext,
+    CachePolicy,
+    DegreePolicy,
+    HaloPolicy,
+    NoCachePolicy,
+    NumPathsPolicy,
+    OraclePolicy,
+    SimulationPolicy,
+    VIPAnalyticPolicy,
+    WeightedReversePageRankPolicy,
+    build_caches,
+    cache_budget,
+    default_policies,
+)
+from repro.vip.commvolume import (
+    AccessTrace,
+    PolicyVolume,
+    evaluate_policies,
+    geometric_mean_improvement,
+    record_access_trace,
+    remote_volume_for_caches,
+)
+
+__all__ = [
+    "VIPResult",
+    "expected_remote_volume",
+    "partitionwise_vip",
+    "transition_probabilities",
+    "uniform_minibatch_probability",
+    "vip_for_training_set",
+    "vip_probabilities",
+    "montecarlo_inclusion_frequency",
+    "simulate_access_counts",
+    "CacheContext",
+    "CachePolicy",
+    "DegreePolicy",
+    "HaloPolicy",
+    "NoCachePolicy",
+    "NumPathsPolicy",
+    "OraclePolicy",
+    "SimulationPolicy",
+    "VIPAnalyticPolicy",
+    "WeightedReversePageRankPolicy",
+    "build_caches",
+    "cache_budget",
+    "default_policies",
+    "AccessTrace",
+    "PolicyVolume",
+    "evaluate_policies",
+    "geometric_mean_improvement",
+    "record_access_trace",
+    "remote_volume_for_caches",
+]

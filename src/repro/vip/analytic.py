@@ -1,0 +1,252 @@
+"""Analytic vertex-inclusion probabilities (Proposition 1 of the paper).
+
+Models the node-wise neighborhood-expansion random process: starting from a
+random minibatch, each hop samples at most ``f_h`` neighbors per vertex
+uniformly without replacement, independently across vertices and hops.  The
+probability that vertex ``u`` is sampled exactly ``h`` hops out satisfies
+
+    p[h](u) = 1 - prod_{v in N1(u)} (1 - t_h(u, v) * p[h-1](v)),      (3)
+
+with ``t_h(u, v) = min(1, f_h / d(v))`` for uniform GraphSAGE sampling, and
+the overall inclusion probability is
+
+    p(u) = 1 - prod_{h=1..L} (1 - p[h](u)).                           (2)
+
+The recursion is evaluated in O(L(M+N)) using CSR edge arrays directly: the
+product over neighbors becomes a ``log1p`` sum per CSR row (a ``reduceat``
+over contiguous segments), never materializing dense intermediates.
+
+Partition-wise VIP vectors (one per machine, seeded by that machine's local
+training set) drive both the remote-feature cache and the local CPU/GPU
+ordering (paper §3.2, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.interface import Partition
+from repro.utils.validation import check_probability_vector
+
+
+@dataclass
+class VIPResult:
+    """VIP vectors for one starting distribution.
+
+    Attributes
+    ----------
+    total:
+        ``p(u)`` — probability of inclusion in the sampled L-hop
+        neighborhood of one minibatch (equation 2).
+    hopwise:
+        ``p[h](u)`` for h = 1..L (equation 3); ``hopwise[0]`` is hop 1.
+    initial:
+        ``p[0](u)`` — the minibatch membership probabilities.
+    """
+
+    total: np.ndarray
+    hopwise: List[np.ndarray]
+    initial: np.ndarray
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hopwise)
+
+    @property
+    def access(self) -> np.ndarray:
+        """Probability the vertex is touched at all by one minibatch:
+        membership in the minibatch itself or in any sampled hop,
+        ``1 - (1 - p[0]) * prod_h (1 - p[h])``.
+
+        This is the ranking quantity for *local* storage decisions (a
+        machine reads a training vertex's features whenever it seeds a
+        batch); for remote vertices ``p[0] = 0`` and it coincides with
+        equation (2)'s ``p(u)``.
+        """
+        return 1.0 - (1.0 - self.initial) * (1.0 - self.total)
+
+
+def uniform_minibatch_probability(
+    num_vertices: int,
+    train_idx: np.ndarray,
+    batch_size: int,
+) -> np.ndarray:
+    """``p[0]`` for uniform minibatch sampling without replacement.
+
+    ``p[0](u) = B / |T|`` for training vertices, 0 otherwise (paper §3.1).
+    ``B`` is clipped to ``|T|`` so tiny partitions stay valid.
+    """
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    p0 = np.zeros(num_vertices, dtype=np.float64)
+    if len(train_idx):
+        p0[train_idx] = min(batch_size, len(train_idx)) / len(train_idx)
+    return p0
+
+
+def transition_probabilities(graph: CSRGraph, fanout: int) -> np.ndarray:
+    """Per-edge ``t(u, v) = min(1, f / d(v))`` aligned with ``graph``'s CSR.
+
+    For edge slot ``e`` with row ``u`` and column ``v = indices[e]``, the
+    value is the probability that ``v`` picks ``u`` among its neighbors when
+    sampling ``fanout`` of them without replacement.  (For undirected graphs
+    the CSR row of ``u`` enumerates exactly the ``v`` with ``u ∈ N1(v)``.)
+    """
+    if fanout == 0:
+        raise ValueError("fanout must be non-zero (-1 means full expansion)")
+    deg = graph.degrees[graph.indices].astype(np.float64)
+    if fanout < 0:  # full neighborhood expansion
+        return np.ones(graph.num_edges, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        t = fanout / np.maximum(deg, 1.0)
+    return np.minimum(t, 1.0)
+
+
+def _row_log_products(indptr: np.ndarray, edge_log: np.ndarray) -> np.ndarray:
+    """Sum ``edge_log`` per CSR row (empty rows produce 0)."""
+    n = len(indptr) - 1
+    out = np.zeros(n, dtype=np.float64)
+    lengths = np.diff(indptr)
+    rows = np.flatnonzero(lengths > 0)
+    if len(rows):
+        out[rows] = np.add.reduceat(edge_log, indptr[rows])
+    return out
+
+
+def vip_probabilities(
+    graph: CSRGraph,
+    initial: np.ndarray,
+    fanouts: Sequence[int],
+    *,
+    transition: Optional[List[np.ndarray]] = None,
+) -> VIPResult:
+    """Evaluate Proposition 1 for one starting distribution.
+
+    Parameters
+    ----------
+    graph:
+        Graph being sampled (undirected in all paper experiments).  For a
+        directed graph pass the graph whose CSR row ``u`` lists the vertices
+        ``v`` that can sample ``u`` (the reverse of the sampling direction).
+    initial:
+        ``p[0]`` — per-vertex minibatch membership probabilities.
+    fanouts:
+        Per-hop fanouts, hop 1 first; ``-1`` = full expansion.
+    transition:
+        Optional per-hop per-edge transition probabilities (overrides the
+        uniform GraphSAGE model) — accommodates non-uniform samplers as in
+        the remark after Proposition 1.
+
+    Returns
+    -------
+    VIPResult
+    """
+    p_prev = check_probability_vector(initial, "initial")
+    if len(p_prev) != graph.num_vertices:
+        raise ValueError("initial must have one probability per vertex")
+    if transition is not None and len(transition) != len(fanouts):
+        raise ValueError("transition must supply one edge array per hop")
+
+    indptr, indices = graph.indptr, graph.indices
+    hopwise: List[np.ndarray] = []
+    log_not_total = np.zeros(graph.num_vertices, dtype=np.float64)
+
+    for h, fanout in enumerate(fanouts):
+        if transition is not None:
+            t = np.asarray(transition[h], dtype=np.float64)
+            if t.shape != (graph.num_edges,):
+                raise ValueError(f"transition[{h}] must have one entry per edge")
+        else:
+            t = transition_probabilities(graph, int(fanout))
+        # prod over v in N1(u) of (1 - t(u,v) p[h-1](v)), in log space.
+        prod_arg = 1.0 - t * p_prev[indices]
+        with np.errstate(divide="ignore"):
+            edge_log = np.log(np.maximum(prod_arg, 0.0))
+        row_log = _row_log_products(indptr, edge_log)
+        p_h = 1.0 - np.exp(row_log)
+        np.clip(p_h, 0.0, 1.0, out=p_h)
+        hopwise.append(p_h)
+        with np.errstate(divide="ignore"):
+            log_not_total += np.log(np.maximum(1.0 - p_h, 0.0))
+        p_prev = p_h
+
+    total = 1.0 - np.exp(log_not_total)
+    np.clip(total, 0.0, 1.0, out=total)
+    return VIPResult(total=total, hopwise=hopwise, initial=np.asarray(initial, dtype=np.float64))
+
+
+def vip_for_training_set(
+    graph: CSRGraph,
+    train_idx: np.ndarray,
+    fanouts: Sequence[int],
+    batch_size: int,
+) -> VIPResult:
+    """VIP under uniform minibatches drawn from ``train_idx``."""
+    p0 = uniform_minibatch_probability(graph.num_vertices, train_idx, batch_size)
+    return vip_probabilities(graph, p0, fanouts)
+
+
+def partitionwise_vip(
+    graph: CSRGraph,
+    partition: Partition,
+    train_idx: np.ndarray,
+    fanouts: Sequence[int],
+    batch_size: int,
+) -> np.ndarray:
+    """Partition-wise VIP matrix ``P`` of shape ``(K, N)``.
+
+    Row ``k`` is the VIP vector seeded by partition ``k``'s local training
+    vertices (``p[0]_k(u) = B / |T_k|`` on ``T_k``), i.e. the probability
+    that machine ``k`` needs vertex ``u`` for one of its minibatches.  This
+    is the quantity that ranks both remote-cache candidates and the local
+    CPU/GPU split (paper §3.2).
+    """
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    owner = partition.assignment[train_idx]
+    out = np.zeros((partition.num_parts, graph.num_vertices), dtype=np.float64)
+    for k in range(partition.num_parts):
+        local_train = train_idx[owner == k]
+        if len(local_train) == 0:
+            continue
+        res = vip_for_training_set(graph, local_train, fanouts, batch_size)
+        # Use the full access probability (includes minibatch membership):
+        # identical to equation (2) for remote vertices, and the correct
+        # ranking for local CPU/GPU placement of training vertices.
+        out[k] = res.access
+    return out
+
+
+def expected_remote_volume(
+    vip_matrix: np.ndarray,
+    partition: Partition,
+    steps_per_epoch: np.ndarray,
+    cached: Optional[np.ndarray] = None,
+) -> float:
+    """Expected per-epoch remote-vertex fetch count implied by VIP values.
+
+    Machine ``k`` fetches vertex ``u`` in a given minibatch with probability
+    ``P[k, u]`` if ``u`` is remote and not cached; summing over the epoch's
+    minibatches gives the expected communication volume the caching policy
+    minimizes (§3.2 "Communication reduction").
+
+    Parameters
+    ----------
+    vip_matrix:
+        ``(K, N)`` partition-wise VIP values.
+    steps_per_epoch:
+        ``(K,)`` minibatch count per machine per epoch.
+    cached:
+        Optional boolean ``(K, N)`` cache membership.
+    """
+    K, N = vip_matrix.shape
+    owner = partition.assignment
+    total = 0.0
+    for k in range(K):
+        remote = owner != k
+        if cached is not None:
+            remote = remote & ~cached[k]
+        total += float(steps_per_epoch[k]) * float(vip_matrix[k, remote].sum())
+    return total

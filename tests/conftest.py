@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic datasets and prebuilt substrates.
+
+Everything here is session-scoped and tiny (hundreds of vertices) so the
+whole suite stays fast; benchmark-scale datasets are exercised only under
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, load_dataset, power_law_community_graph
+from repro.partition import metis_like_partition, reorder_dataset
+from repro.vip import partitionwise_vip
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_dataset("tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset):
+    return tiny_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def small_er_graph():
+    return erdos_renyi(200, 6.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def community_graph():
+    g, comm = power_law_community_graph(600, 8.0, num_communities=6,
+                                        intra_fraction=0.9, seed=3)
+    return g, comm
+
+
+@pytest.fixture(scope="session")
+def tiny_partition(tiny_dataset):
+    return metis_like_partition(tiny_dataset.graph, 4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_reordered(tiny_dataset, tiny_partition):
+    vip = partitionwise_vip(tiny_dataset.graph, tiny_partition,
+                            tiny_dataset.train_idx, (5, 5), 32)
+    score = np.zeros(tiny_dataset.num_vertices)
+    for k in range(tiny_partition.num_parts):
+        mask = tiny_partition.assignment == k
+        score[mask] = vip[k][mask]
+    return reorder_dataset(tiny_dataset, tiny_partition, within_part_score=score)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

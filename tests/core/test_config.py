@@ -1,0 +1,51 @@
+"""RunConfig and progressive-ladder tests."""
+
+import pytest
+
+from repro.core import RunConfig, progressive_variants, table1_alpha
+from repro.pipeline import PipelineMode
+
+
+class TestRunConfig:
+    def test_resolve_fills_defaults(self, tiny_dataset):
+        cfg = RunConfig(num_machines=2).resolve(tiny_dataset)
+        assert cfg.fanouts is not None
+        assert cfg.batch_size > 0
+        assert cfg.hidden_dim > 0
+
+    def test_resolve_keeps_explicit_values(self, tiny_dataset):
+        cfg = RunConfig(num_machines=2, fanouts=(2, 2), batch_size=8,
+                        hidden_dim=12).resolve(tiny_dataset)
+        assert cfg.fanouts == (2, 2)
+        assert cfg.batch_size == 8
+        assert cfg.hidden_dim == 12
+
+    def test_cluster_network_bandwidth(self):
+        cfg = RunConfig(num_machines=4, network_gbps=4.0)
+        assert cfg.cluster().network.bandwidth == pytest.approx(4e9 / 8)
+
+    def test_describe(self):
+        cfg = RunConfig(num_machines=2, replication_factor=0.16)
+        assert "vip" in cfg.describe()
+        assert "K=2" in cfg.describe()
+
+
+class TestLadder:
+    def test_four_variants_in_order(self):
+        ladder = progressive_variants(8, 0.32)
+        names = [n for n, _ in ladder]
+        assert names[0].startswith("SALIENT")
+        assert names[1] == "+ Partitioned features"
+        assert names[2] == "+ Pipelined communication"
+        assert names[3] == "+ Feature caching"
+        cfgs = [c for _, c in ladder]
+        assert cfgs[0].full_replication
+        assert cfgs[1].pipeline is PipelineMode.BLOCKING_COMM
+        assert cfgs[2].pipeline is PipelineMode.FULL
+        assert cfgs[3].replication_factor == pytest.approx(0.32)
+
+    def test_table1_alpha_schedule(self):
+        assert table1_alpha(2) == pytest.approx(0.08)
+        assert table1_alpha(4) == pytest.approx(0.16)
+        assert table1_alpha(8) == pytest.approx(0.32)
+        assert table1_alpha(16) == pytest.approx(0.32)

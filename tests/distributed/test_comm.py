@@ -1,0 +1,77 @@
+"""Collective-communication tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CommLedger, all_reduce_gradients, broadcast_state, gradient_nbytes
+from repro.nn import Linear
+
+
+def make_replicas(k=3):
+    models = [Linear(4, 2, seed=i) for i in range(k)]
+    broadcast_state(models)
+    return models
+
+
+class TestAllReduce:
+    def test_averages_gradients(self):
+        models = make_replicas(3)
+        for i, m in enumerate(models):
+            m.weight.grad = np.full((4, 2), float(i))
+            m.bias.grad = np.full(2, float(i))
+        all_reduce_gradients(models)
+        for m in models:
+            assert np.allclose(m.weight.grad, 1.0)
+            assert np.allclose(m.bias.grad, 1.0)
+
+    def test_missing_grads_count_as_zero(self):
+        models = make_replicas(2)
+        models[0].weight.grad = np.ones((4, 2))
+        models[0].bias.grad = np.ones(2)
+        # models[1] has no grads.
+        all_reduce_gradients(models)
+        assert np.allclose(models[1].weight.grad, 0.5)
+
+    def test_records_wire_bytes(self):
+        models = make_replicas(4)
+        for m in models:
+            m.weight.grad = np.ones((4, 2))
+            m.bias.grad = np.ones(2)
+        ledger = CommLedger(4)
+        all_reduce_gradients(models, ledger)
+        expect = 2.0 * 3 / 4 * gradient_nbytes(models[0])
+        assert np.allclose(ledger.gradient_bytes, expect)
+
+    def test_mismatched_models_raise(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            all_reduce_gradients([Linear(4, 2, seed=0), Linear(4, 3, seed=0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            all_reduce_gradients([])
+
+
+class TestBroadcast:
+    def test_broadcast_synchronizes(self):
+        models = [Linear(4, 2, seed=i) for i in range(3)]
+        broadcast_state(models, source=1)
+        for m in models:
+            assert np.allclose(m.weight.data, models[1].weight.data)
+
+
+class TestLedger:
+    def test_feature_fetch_accounting(self):
+        ledger = CommLedger(3)
+        ledger.record_feature_fetch(0, np.array([0, 5, 3]), bytes_per_row=100)
+        assert ledger.feature_bytes[0, 1] == 500
+        assert ledger.feature_bytes[0, 2] == 300
+        assert ledger.request_bytes[0, 1] == 40
+        assert ledger.total_feature_bytes() == 800
+
+    def test_merged(self):
+        a, b = CommLedger(2), CommLedger(2)
+        a.record_feature_fetch(0, np.array([0, 2]), 10)
+        b.record_feature_fetch(1, np.array([3, 0]), 10)
+        m = a.merged(b)
+        assert m.total_feature_bytes() == 50
+        assert m.total_bytes() > m.total_feature_bytes()

@@ -1,0 +1,116 @@
+"""Feature store tests: gather correctness for all storage tiers."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import PartitionedFeatureStore
+from repro.vip import CacheContext, VIPAnalyticPolicy, build_caches
+
+
+@pytest.fixture(scope="module")
+def store_setup(request):
+    rd = request.getfixturevalue("tiny_reordered")
+    ctx = CacheContext(rd.dataset.graph, rd.partition, rd.dataset.train_idx,
+                       (5, 5), 16, seed=0)
+    caches = build_caches(VIPAnalyticPolicy(), ctx, alpha=0.25)
+    store = PartitionedFeatureStore.build(rd, gpu_fraction=0.4, caches=caches)
+    return rd, store
+
+
+class TestGatherCorrectness:
+    def test_matches_direct_indexing(self, store_setup, rng):
+        rd, store = store_setup
+        ids = rng.choice(rd.dataset.num_vertices, 200, replace=False)
+        for k in range(store.num_machines):
+            feats, stats = store.gather(k, ids)
+            assert np.array_equal(feats, rd.dataset.features[ids])
+
+    def test_stats_partition_rows(self, store_setup, rng):
+        rd, store = store_setup
+        ids = rng.choice(rd.dataset.num_vertices, 150, replace=False)
+        for k in range(store.num_machines):
+            _, stats = store.gather(k, ids)
+            assert stats.total_rows == len(ids)
+            assert (stats.gpu_rows + stats.cpu_rows + stats.cached_rows
+                    + stats.remote_rows) == len(ids)
+            assert stats.remote_per_peer[k] == 0
+            assert stats.remote_per_peer.sum() == stats.remote_rows
+
+    def test_gpu_prefix_counting(self, store_setup):
+        rd, store = store_setup
+        k = 0
+        lo, hi = rd.part_range(k)
+        gpu_rows = store.stores[k].gpu_rows
+        # All-GPU-resident ids.
+        ids = np.arange(lo, lo + min(gpu_rows, 5))
+        _, stats = store.gather(k, ids)
+        assert stats.gpu_rows == len(ids) and stats.cpu_rows == 0
+        # All-CPU-resident ids.
+        ids = np.arange(lo + gpu_rows, min(lo + gpu_rows + 5, hi))
+        _, stats = store.gather(k, ids)
+        assert stats.cpu_rows == len(ids) and stats.gpu_rows == 0
+
+    def test_cached_rows_detected(self, store_setup):
+        rd, store = store_setup
+        k = 0
+        cached_ids = store.stores[k].cache_ids[:5]
+        if len(cached_ids):
+            feats, stats = store.gather(k, cached_ids)
+            assert stats.cached_rows == len(cached_ids)
+            assert stats.remote_rows == 0
+            assert np.array_equal(feats, rd.dataset.features[cached_ids])
+
+    def test_remote_attribution_by_owner(self, store_setup):
+        rd, store = store_setup
+        k = 0
+        lo1, hi1 = rd.part_range(1)
+        # Remote ids owned by partition 1, excluding machine 0's cache.
+        ids = np.array([v for v in range(lo1, hi1)
+                        if not store.stores[0].is_cached(np.array([v]))[0]][:7])
+        _, stats = store.gather(0, ids)
+        assert stats.remote_per_peer[1] == len(ids)
+        assert stats.remote_rows == len(ids)
+
+
+class TestBuildValidation:
+    def test_rejects_local_vertices_in_cache(self, tiny_reordered):
+        rd = tiny_reordered
+        lo, hi = rd.part_range(0)
+        with pytest.raises(ValueError, match="local"):
+            PartitionedFeatureStore.build(
+                rd, caches=[np.array([lo])] + [np.empty(0, dtype=np.int64)] * 3)
+
+    def test_rejects_wrong_cache_count(self, tiny_reordered):
+        with pytest.raises(ValueError, match="one cache per machine"):
+            PartitionedFeatureStore.build(tiny_reordered, caches=[np.empty(0, dtype=np.int64)])
+
+    def test_rejects_bad_gpu_fraction(self, tiny_reordered):
+        with pytest.raises(ValueError, match="gpu_fraction"):
+            PartitionedFeatureStore.build(tiny_reordered, gpu_fraction=1.5)
+
+
+class TestMemoryAccounting:
+    def test_partitioned_memory_multiple(self, store_setup):
+        rd, store = store_setup
+        assert store.memory_multiple() == pytest.approx(
+            1.0 + store.replication_factor(), rel=0.05)
+
+    def test_replication_factor_close_to_alpha(self, store_setup):
+        rd, store = store_setup
+        assert 0.0 < store.replication_factor() <= 0.25 + 1e-9
+
+
+class TestReplicatedStore:
+    def test_full_replication_gather(self, tiny_reordered, rng):
+        rd = tiny_reordered
+        store = PartitionedFeatureStore.build_replicated(rd)
+        assert store.is_replicated
+        ids = rng.choice(rd.dataset.num_vertices, 100, replace=False)
+        for k in range(store.num_machines):
+            feats, stats = store.gather(k, ids)
+            assert np.array_equal(feats, rd.dataset.features[ids])
+            assert stats.remote_rows == 0 and stats.cached_rows == 0
+
+    def test_full_replication_memory_is_k(self, tiny_reordered):
+        store = PartitionedFeatureStore.build_replicated(tiny_reordered)
+        assert store.memory_multiple() == pytest.approx(store.num_machines)

@@ -1,0 +1,59 @@
+"""Property-based tests for the CSR substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_from_edges_roundtrip(data):
+    n, src, dst = data
+    g = CSRGraph.from_edges(src, dst, n)
+    assert g.num_edges == len(src)
+    s2, d2 = g.edges()
+    # Edge multiset is preserved.
+    orig = sorted(zip(src.tolist(), dst.tolist()))
+    back = sorted(zip(s2.tolist(), d2.tolist()))
+    assert orig == back
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_to_undirected_is_symmetric_and_idempotent(data):
+    n, src, dst = data
+    u = CSRGraph.from_edges(src, dst, n).to_undirected()
+    assert u.is_undirected()
+    assert u.to_undirected() == u
+
+
+@given(edge_lists(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_degree_multiset(data, perm_seed):
+    n, src, dst = data
+    g = CSRGraph.from_edges(src, dst, n)
+    perm_rng = np.random.default_rng(perm_seed)
+    order = perm_rng.permutation(n)
+    new_of_old = np.empty(n, dtype=np.int64)
+    new_of_old[order] = np.arange(n)
+    h = g.relabel(new_of_old)
+    assert sorted(g.degrees.tolist()) == sorted(h.degrees.tolist())
+    assert h.num_edges == g.num_edges
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_reverse_involution(data):
+    n, src, dst = data
+    g = CSRGraph.from_edges(src, dst, n)
+    assert g.reverse().reverse() == g

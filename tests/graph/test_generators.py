@@ -1,0 +1,110 @@
+"""Generator tests: sizes, structure, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chung_lu,
+    erdos_renyi,
+    pareto_degree_weights,
+    power_law_community_graph,
+    rmat,
+    stochastic_block_model,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_symmetry(self):
+        g = erdos_renyi(500, 6.0, seed=0)
+        assert g.num_vertices == 500
+        assert g.is_undirected()
+        assert 3.0 < g.avg_degree < 8.0  # some loss to dedup/self-loops
+
+    def test_deterministic(self):
+        assert erdos_renyi(100, 4.0, seed=5) == erdos_renyi(100, 4.0, seed=5)
+        assert erdos_renyi(100, 4.0, seed=5) != erdos_renyi(100, 4.0, seed=6)
+
+
+class TestParetoWeights:
+    def test_mean_scaled(self):
+        w = pareto_degree_weights(5000, 12.0, power=2.5, seed=0)
+        assert w.mean() == pytest.approx(12.0)
+        assert np.all(w > 0)
+
+    def test_heavier_tail_with_smaller_power(self):
+        # Tail-to-median ratio grows as the exponent shrinks (the mean is
+        # rescaled, so compare shape, not absolute max).
+        w_heavy = pareto_degree_weights(5000, 10.0, power=1.8, seed=0)
+        w_light = pareto_degree_weights(5000, 10.0, power=3.5, seed=0)
+        ratio = lambda w: np.quantile(w, 0.999) / np.median(w)
+        assert ratio(w_heavy) > 2 * ratio(w_light)
+
+    def test_rejects_power_leq_one(self):
+        with pytest.raises(ValueError, match="power"):
+            pareto_degree_weights(10, 5.0, power=1.0)
+
+
+class TestChungLu:
+    def test_degrees_follow_weights(self):
+        w = pareto_degree_weights(2000, 10.0, seed=1)
+        g = chung_lu(w, seed=2)
+        assert g.is_undirected()
+        # High-weight vertices should have higher realized degree on average.
+        top = np.argsort(-w)[:100]
+        bottom = np.argsort(w)[:100]
+        assert g.degrees[top].mean() > 3 * g.degrees[bottom].mean()
+
+
+class TestSBM:
+    def test_block_structure(self):
+        g, blocks = stochastic_block_model(np.array([100, 100]), 0.10, 0.005, seed=0)
+        assert g.num_vertices == 200
+        src, dst = g.edges()
+        intra = np.mean(blocks[src] == blocks[dst])
+        assert intra > 0.75
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            stochastic_block_model(np.array([0, 5]), 0.1, 0.1)
+
+
+class TestRMAT:
+    def test_size_and_skew(self):
+        g = rmat(9, 8, seed=0)
+        assert g.num_vertices == 512
+        assert g.max_degree > 4 * g.avg_degree  # power-law-ish skew
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat(4, 4, a=0.5, b=0.4, c=0.4)
+
+
+class TestPowerLawCommunity:
+    def test_structure(self):
+        g, comm = power_law_community_graph(1000, 10.0, num_communities=10,
+                                            intra_fraction=0.9, seed=0)
+        assert g.num_vertices == 1000
+        assert g.is_undirected()
+        assert len(comm) == 1000
+        assert len(np.unique(comm)) == 10
+        src, dst = g.edges()
+        intra = np.mean(comm[src] == comm[dst])
+        assert intra > 0.75  # planted locality survives dedup
+
+    def test_intra_fraction_controls_locality(self):
+        g_loc, c_loc = power_law_community_graph(800, 8.0, 8, intra_fraction=0.95, seed=1)
+        g_mix, c_mix = power_law_community_graph(800, 8.0, 8, intra_fraction=0.3, seed=1)
+        def intra(g, c):
+            s, d = g.edges()
+            return np.mean(c[s] == c[d])
+        assert intra(g_loc, c_loc) > intra(g_mix, c_mix) + 0.2
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="intra_fraction"):
+            power_law_community_graph(100, 5.0, 4, intra_fraction=1.5)
+
+    def test_deterministic(self):
+        g1, c1 = power_law_community_graph(300, 6.0, 6, seed=9)
+        g2, c2 = power_law_community_graph(300, 6.0, 6, seed=9)
+        assert g1 == g2
+        assert np.array_equal(c1, c2)

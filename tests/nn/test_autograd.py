@@ -1,0 +1,152 @@
+"""Numerical gradient checks for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def numgrad(f, x, eps=1e-6):
+    g = np.zeros_like(x, dtype=np.float64)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return g
+
+
+def check(build, x_shape, seed=0, atol=1e-6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=x_shape)
+
+    def scalar(xv):
+        t = Tensor(xv, requires_grad=True)
+        return build(t).sum().item()
+
+    t = Tensor(x, requires_grad=True)
+    out = build(t).sum()
+    out.backward()
+    assert np.allclose(t.grad, numgrad(scalar, x), atol=atol), \
+        f"max err {np.abs(t.grad - numgrad(scalar, x)).max()}"
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        b = Tensor(np.random.default_rng(1).normal(size=3))
+        check(lambda t: t + b, (4, 3))
+
+    def test_add_scalar(self):
+        check(lambda t: t + 2.5, (3, 2))
+
+    def test_mul(self):
+        other = Tensor(np.random.default_rng(2).normal(size=(4, 3)))
+        check(lambda t: t * other, (4, 3))
+
+    def test_mul_broadcast_grad_to_smaller(self):
+        rng = np.random.default_rng(3)
+        big = rng.normal(size=(5, 3))
+
+        def build(t):
+            return Tensor(big) * t  # t is (3,)
+        check(build, (3,))
+
+    def test_neg_sub(self):
+        check(lambda t: (-t) - 1.0, (2, 3))
+
+    def test_rsub(self):
+        check(lambda t: 1.0 - t, (2, 2))
+
+    def test_div_scalar(self):
+        check(lambda t: t / 4.0, (2, 3))
+
+    def test_reciprocal(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.5, 2.0, size=(3, 3))
+        t = Tensor(x, requires_grad=True)
+        t.reciprocal().sum().backward()
+        assert np.allclose(t.grad, -1.0 / x**2, atol=1e-8)
+
+    def test_matmul_both_sides(self):
+        rng = np.random.default_rng(5)
+        B = rng.normal(size=(3, 2))
+        check(lambda t: t @ Tensor(B), (4, 3))
+        A = rng.normal(size=(4, 3))
+        check(lambda t: Tensor(A) @ t, (3, 2))
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        check(lambda t: t.sum() * 2.0, (3, 4))
+
+    def test_sum_axis(self):
+        check(lambda t: t.sum(axis=0), (3, 4))
+        check(lambda t: t.sum(axis=1, keepdims=True), (3, 4))
+
+    def test_mean(self):
+        check(lambda t: t.mean(axis=1), (3, 4))
+
+    def test_reshape(self):
+        check(lambda t: t.reshape(6, 2) @ Tensor(np.ones((2, 1))), (3, 4))
+
+    def test_transpose(self):
+        check(lambda t: t.T @ Tensor(np.ones((3, 1))), (3, 4))
+
+
+class TestNonlinearities:
+    def test_relu(self):
+        check(lambda t: t.relu(), (4, 4), seed=7)
+
+    def test_leaky_relu(self):
+        check(lambda t: t.leaky_relu(0.1), (4, 4), seed=8)
+
+    def test_exp_log_tanh(self):
+        check(lambda t: t.exp(), (3, 3))
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0.5, 2.0, size=(3, 3))
+        t = Tensor(x, requires_grad=True)
+        t.log().sum().backward()
+        assert np.allclose(t.grad, 1.0 / x)
+        check(lambda t: t.tanh(), (3, 3))
+
+
+class TestIndexing:
+    def test_gather_rows_scatter_backward(self):
+        idx = np.array([0, 2, 2, 1])
+        check(lambda t: t.gather_rows(idx), (3, 2))
+
+    def test_slice_rows(self):
+        check(lambda t: t.slice_rows(1, 3), (4, 2))
+
+
+class TestEngine:
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        (t * 2 + t * 3).sum().backward()
+        assert np.allclose(t.grad, 5.0)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            Tensor(np.ones(2)).backward()
+
+    def test_grad_shape_validated(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="grad shape"):
+            t.backward(np.ones(3))
+
+    def test_detach_stops_gradient(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = (t.detach() * 2).sum()
+        assert not out.requires_grad
+
+    def test_diamond_graph(self):
+        """f = (t*2) + (t*3) through shared subexpression."""
+        t = Tensor(np.array([[1.0]]), requires_grad=True)
+        a = t * 2
+        out = a + a * 3  # a reused
+        out.sum().backward()
+        assert t.grad.item() == pytest.approx(8.0)

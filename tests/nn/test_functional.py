@@ -1,0 +1,132 @@
+"""Functional op tests: segment reductions, softmax, losses, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, accuracy, cross_entropy
+from repro.nn import functional as F
+
+
+def numgrad(f, x, eps=1e-6):
+    g = np.zeros_like(x, dtype=np.float64)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return g
+
+
+class TestSegmentOps:
+    def test_segment_sum_matches_loop(self, rng):
+        x = rng.normal(size=(7, 3))
+        ptr = np.array([0, 2, 2, 5, 7])  # includes an empty segment
+        out = F.segment_sum(Tensor(x), ptr)
+        expect = np.stack([x[0:2].sum(0), np.zeros(3), x[2:5].sum(0), x[5:7].sum(0)])
+        assert np.allclose(out.data, expect)
+
+    def test_segment_sum_grad(self, rng):
+        x = rng.normal(size=(6, 2))
+        ptr = np.array([0, 3, 6])
+
+        def f(xv):
+            return F.segment_sum(Tensor(xv, requires_grad=True), ptr).sum().item()
+        t = Tensor(x, requires_grad=True)
+        F.segment_sum(t, ptr).sum().backward()
+        assert np.allclose(t.grad, numgrad(f, x), atol=1e-6)
+
+    def test_segment_mean_empty_is_zero(self, rng):
+        x = rng.normal(size=(4, 2))
+        ptr = np.array([0, 0, 4])
+        out = F.segment_mean(Tensor(x), ptr)
+        assert np.allclose(out.data[0], 0.0)
+        assert np.allclose(out.data[1], x.mean(axis=0))
+
+    def test_segment_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(9, 1))
+        ptr = np.array([0, 4, 9])
+        out = F.segment_softmax(Tensor(x), ptr)
+        assert out.data[0:4].sum() == pytest.approx(1.0)
+        assert out.data[4:9].sum() == pytest.approx(1.0)
+
+    def test_segment_softmax_grad(self, rng):
+        x = rng.normal(size=(6, 1))
+        ptr = np.array([0, 2, 6])
+        w = rng.normal(size=(6, 1))
+
+        def f(xv):
+            t = Tensor(xv, requires_grad=True)
+            return (F.segment_softmax(t, ptr) * Tensor(w)).sum().item()
+        t = Tensor(x, requires_grad=True)
+        (F.segment_softmax(t, ptr) * Tensor(w)).sum().backward()
+        assert np.allclose(t.grad, numgrad(f, x), atol=1e-6)
+
+    def test_ptr_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(np.ones((3, 2))), np.array([0, 2]))
+
+
+class TestConcat:
+    def test_concat_grad_splits(self, rng):
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(3, 4))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        out = F.concat([ta, tb], axis=1)
+        assert out.shape == (3, 6)
+        out.sum().backward()
+        assert np.allclose(ta.grad, 1.0) and ta.grad.shape == a.shape
+        assert np.allclose(tb.grad, 1.0) and tb.grad.shape == b.shape
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_training_scales(self, rng):
+        x = Tensor(np.ones((400, 50)))
+        out = F.dropout(x, 0.25, rng, training=True)
+        kept = out.data != 0
+        assert 0.70 < kept.mean() < 0.80
+        assert np.allclose(out.data[kept], 1.0 / 0.75)
+
+    def test_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.0, rng)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = np.array([0, 2, 1, 1, 0])
+        loss = cross_entropy(Tensor(logits), labels)
+        # Manual
+        z = logits - logits.max(axis=1, keepdims=True)
+        logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(5), labels].mean()
+        assert loss.item() == pytest.approx(manual)
+
+    def test_cross_entropy_grad(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([1, 0, 2, 1])
+
+        def f(lv):
+            return cross_entropy(Tensor(lv, requires_grad=True), labels).item()
+        t = Tensor(logits, requires_grad=True)
+        cross_entropy(t, labels).backward()
+        assert np.allclose(t.grad, numgrad(f, logits), atol=1e-6)
+
+    def test_cross_entropy_validates(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.ones((3, 2))), np.array([0, 1]))
+
+    def test_log_softmax_rows_normalized(self, rng):
+        out = F.log_softmax(Tensor(rng.normal(size=(4, 5))))
+        assert np.allclose(np.exp(out.data).sum(axis=1), 1.0)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 0])) == pytest.approx(1.0)
+        assert accuracy(logits, np.array([1, 1, 0])) == pytest.approx(2 / 3)
+        assert np.isnan(accuracy(np.zeros((0, 2)), np.array([])))

@@ -1,0 +1,63 @@
+"""Baseline partitioner tests."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    bfs_partition,
+    evaluate_partition,
+    hash_partition,
+    ldg_partition,
+    random_partition,
+)
+
+
+class TestRandomAndHash:
+    def test_random_balanced(self):
+        p = random_partition(103, 4, seed=0)
+        assert p.sizes().max() - p.sizes().min() <= 1
+
+    def test_hash_deterministic(self):
+        a = hash_partition(50, 3)
+        b = hash_partition(50, 3)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            random_partition(10, 0)
+        with pytest.raises(ValueError):
+            hash_partition(10, -1)
+
+
+class TestBFS:
+    def test_covers_and_roughly_balanced(self, community_graph):
+        g, _ = community_graph
+        p = bfs_partition(g, 4, seed=0)
+        assert np.all(p.assignment >= 0)
+        assert evaluate_partition(g, p).vertex_balance < 1.3
+
+    def test_locality_beats_random(self, community_graph):
+        g, _ = community_graph
+        cut_bfs = evaluate_partition(g, bfs_partition(g, 4, seed=0)).edge_cut_fraction
+        cut_rnd = evaluate_partition(
+            g, random_partition(g.num_vertices, 4, seed=0)).edge_cut_fraction
+        assert cut_bfs < cut_rnd
+
+
+class TestLDG:
+    def test_covers_and_balanced(self, community_graph):
+        g, _ = community_graph
+        p = ldg_partition(g, 4, seed=0)
+        assert np.all(p.assignment >= 0)
+        assert evaluate_partition(g, p).vertex_balance < 1.25
+
+    def test_locality_beats_random(self, community_graph):
+        g, _ = community_graph
+        cut_ldg = evaluate_partition(g, ldg_partition(g, 4, seed=0)).edge_cut_fraction
+        cut_rnd = evaluate_partition(
+            g, random_partition(g.num_vertices, 4, seed=0)).edge_cut_fraction
+        assert cut_ldg < cut_rnd
+
+    def test_too_many_parts(self, tiny_graph):
+        with pytest.raises(ValueError, match="cannot split"):
+            ldg_partition(tiny_graph, tiny_graph.num_vertices + 1)

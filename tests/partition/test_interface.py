@@ -1,0 +1,64 @@
+"""Partition datatype and metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.partition import Partition, balance, edge_cut, evaluate_partition
+
+
+def two_triangles():
+    """Two triangles joined by a single bridge edge."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+    src = [a for a, b in edges] + [b for a, b in edges]
+    dst = [b for a, b in edges] + [a for a, b in edges]
+    return CSRGraph.from_edges(src, dst, 6)
+
+
+class TestPartition:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_parts"):
+            Partition(np.zeros(3, dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="assignment"):
+            Partition(np.array([0, 2]), 2)
+
+    def test_members_and_sizes(self):
+        p = Partition(np.array([1, 0, 1, 0]), 2)
+        assert list(p.members(0)) == [1, 3]
+        assert list(p.members(1)) == [0, 2]
+        assert list(p.sizes()) == [2, 2]
+
+    def test_owner_of(self):
+        p = Partition(np.array([0, 1, 1]), 2)
+        assert list(p.owner_of(np.array([2, 0]))) == [1, 0]
+
+
+class TestMetrics:
+    def test_edge_cut_bridge_only(self):
+        g = two_triangles()
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]), 2)
+        assert edge_cut(g, p) == 1
+
+    def test_edge_cut_worst_case(self):
+        g = two_triangles()
+        p = Partition(np.array([0, 1, 0, 1, 0, 1]), 2)
+        assert edge_cut(g, p) > 1
+
+    def test_balance_perfect(self):
+        p = Partition(np.array([0, 0, 1, 1]), 2)
+        assert balance(p) == pytest.approx(1.0)
+
+    def test_balance_weighted(self):
+        p = Partition(np.array([0, 0, 1, 1]), 2)
+        w = np.array([3.0, 3.0, 1.0, 1.0])
+        assert balance(p, w) == pytest.approx(6.0 / 4.0)
+
+    def test_evaluate_partition_report(self):
+        g = two_triangles()
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]), 2)
+        rep = evaluate_partition(g, p, {"train": np.array([0, 3])})
+        assert rep.edge_cut == 1
+        assert rep.edge_cut_fraction == pytest.approx(1 / 7)
+        assert rep.vertex_balance == pytest.approx(1.0)
+        assert rep.role_balance["train"] == pytest.approx(1.0)
+        assert len(rep.as_rows()) >= 5

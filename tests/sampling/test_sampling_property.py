@@ -1,0 +1,51 @@
+"""Property-based sampler tests (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import erdos_renyi
+from repro.sampling import NeighborSampler, sample_neighbors
+
+
+@given(
+    n=st.integers(20, 80),
+    avg_deg=st.floats(2.0, 8.0),
+    fanout=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_sample_neighbors_contract(n, avg_deg, fanout, seed):
+    g = erdos_renyi(n, avg_deg, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    targets = np.arange(0, n, 3)
+    ptr, src = sample_neighbors(g, targets, fanout, rng)
+    counts = np.diff(ptr)
+    # Exactly min(deg, fanout) per vertex.
+    assert np.array_equal(counts, np.minimum(g.degrees[targets], fanout))
+    for i, v in enumerate(targets):
+        picked = src[ptr[i]:ptr[i + 1]]
+        # Without replacement, all real neighbors.
+        assert len(np.unique(picked)) == len(picked)
+        assert set(picked.tolist()) <= set(g.neighbors(v).tolist())
+
+
+@given(
+    n=st.integers(30, 80),
+    seed=st.integers(0, 2**31 - 1),
+    fanouts=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_mfg_structural_invariants(n, seed, fanouts):
+    g = erdos_renyi(n, 5.0, seed=seed)
+    s = NeighborSampler(g, tuple(fanouts), seed=seed)
+    seeds = np.arange(0, n, 5)
+    mfg = s.sample(seeds)
+    mfg.validate()
+    # n_id unique; seeds first; hop sets nested (monotone sizes).
+    assert len(np.unique(mfg.n_id)) == len(mfg.n_id)
+    assert np.array_equal(mfg.n_id[:len(seeds)], seeds)
+    sizes = mfg.hop_sizes()
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+    # Every block's destinations form a prefix of its sources.
+    for blk in mfg.blocks:
+        assert blk.num_dst <= blk.num_src

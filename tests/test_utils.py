@@ -1,0 +1,113 @@
+"""Tests for shared utilities: RNG management, tables, validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Table,
+    as_generator,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    derive_seed,
+    format_bytes,
+    format_count,
+    format_seconds,
+    spawn_generators,
+)
+from repro.utils.rng import permutation_from_order
+
+
+class TestRNG:
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_from_int_deterministic(self):
+        assert as_generator(5).integers(0, 100) == as_generator(5).integers(0, 100)
+
+    def test_spawn_generators_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_spawn_count(self):
+        assert len(spawn_generators(1, 5)) == 5
+        assert spawn_generators(1, 0) == []
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(3), 3)
+        assert len(gens) == 3
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "sampler", 3) == derive_seed(7, "sampler", 3)
+        assert derive_seed(7, "sampler", 3) != derive_seed(7, "sampler", 4)
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(None, "x") == derive_seed(None, "x")
+
+    def test_permutation_from_order(self):
+        order = np.array([2, 0, 1])
+        inv = permutation_from_order(order)
+        assert np.array_equal(inv[order], np.arange(3))
+
+
+class TestTable:
+    def test_render_includes_rows(self):
+        t = Table(["a", "b"], title="T")
+        t.add_row(["x", 1.5])
+        t.add_rows([["y", None], ["z", True]])
+        out = t.render()
+        assert "T" in out and "x" in out and "1.500" in out
+        assert "-" in out  # None rendering
+        assert "yes" in out
+
+    def test_ragged_rows_padded(self):
+        t = Table(["a", "b", "c"])
+        t.add_row(["only"])
+        assert "only" in t.render()
+
+
+class TestFormatters:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert "MiB" in format_bytes(5 * 1024**2)
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+    def test_seconds(self):
+        assert "us" in format_seconds(5e-7)
+        assert "ms" in format_seconds(0.005)
+        assert format_seconds(2.0) == "2.00 s"
+        assert "min" in format_seconds(300)
+
+    def test_count(self):
+        assert format_count(999) == "999"
+        assert format_count(1500) == "1.50K"
+        assert format_count(2.5e6) == "2.50M"
+        assert format_count(3e9) == "3.00B"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive(1, "x")
+        check_positive(0, "x", strict=False)
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(0, "x")
+        with pytest.raises(ValueError, match="non-negative"):
+            check_positive(-1, "x", strict=False)
+
+    def test_check_in_range(self):
+        check_in_range(0.5, "x", 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range(2, "x", 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range(0, "x", 0, 1, inclusive=False)
+
+    def test_check_probability_vector(self):
+        out = check_probability_vector(np.array([0.0, 0.5, 1.0]), "p")
+        assert np.all((0 <= out) & (out <= 1))
+        with pytest.raises(ValueError, match="lie in"):
+            check_probability_vector(np.array([1.5]), "p")
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector(np.array([0.5, 0.2]), "p", allow_improper=False)

@@ -1,0 +1,96 @@
+"""Communication-volume evaluation tests (the Figure 2 harness)."""
+
+import numpy as np
+import pytest
+
+from repro.vip import (
+    NoCachePolicy,
+    VIPAnalyticPolicy,
+    evaluate_policies,
+    geometric_mean_improvement,
+    record_access_trace,
+    remote_volume_for_caches,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_setup(request):
+    ds = request.getfixturevalue("tiny_dataset")
+    part = request.getfixturevalue("tiny_partition")
+    trace = record_access_trace(ds.graph, part, ds.train_idx, (5, 5), 16,
+                                epochs=2, seed=0)
+    return ds, part, trace
+
+
+class TestTrace:
+    def test_counts_bounded_by_steps(self, trace_setup):
+        ds, part, trace = trace_setup
+        for k in range(part.num_parts):
+            assert trace.counts[k].max() <= trace.steps[k]
+
+    def test_local_train_always_accessed(self, trace_setup):
+        ds, part, trace = trace_setup
+        # Every vertex appears at least in its own minibatch once per epoch.
+        for k in range(part.num_parts):
+            local_train = ds.train_idx[part.assignment[ds.train_idx] == k]
+            sampled = local_train[: 16 * (len(local_train) // 16)]
+            if len(sampled):
+                assert trace.counts[k][sampled].min() >= trace.epochs
+
+    def test_volume_upper_bound_no_cache(self, trace_setup):
+        ds, part, trace = trace_setup
+        K = part.num_parts
+        empty = [np.empty(0, dtype=np.int64)] * K
+        base = remote_volume_for_caches(trace, part, empty)
+        assert base > 0
+        # Caching any remote vertex can only reduce volume.
+        some = []
+        for k in range(K):
+            remote = np.flatnonzero(part.assignment != k)
+            some.append(remote[:20])
+        assert remote_volume_for_caches(trace, part, some) <= base
+
+
+class TestEvaluatePolicies:
+    def test_ordering_oracle_vip_none(self, trace_setup):
+        ds, part, trace = trace_setup
+        res = evaluate_policies(
+            ds.graph, part, ds.train_idx, (5, 5), 16,
+            {"vip": VIPAnalyticPolicy()}, alphas=[0.3], trace=trace, seed=0,
+        )
+        vols = {r.policy: r.volume for r in res if r.alpha in (0.0, 0.3)}
+        assert vols["oracle"] <= vols["vip"] + 1e-9
+        assert vols["vip"] <= vols["none"] + 1e-9
+
+    def test_monotone_in_alpha(self, trace_setup):
+        ds, part, trace = trace_setup
+        res = evaluate_policies(
+            ds.graph, part, ds.train_idx, (5, 5), 16,
+            {"vip": VIPAnalyticPolicy()}, alphas=[0.1, 0.3, 0.6],
+            trace=trace, seed=0, include_oracle=False,
+        )
+        vip = sorted([r for r in res if r.policy == "vip"], key=lambda r: r.alpha)
+        vols = [r.volume for r in vip]
+        assert vols == sorted(vols, reverse=True)
+
+    def test_geometric_mean(self, trace_setup):
+        ds, part, trace = trace_setup
+        res = evaluate_policies(
+            ds.graph, part, ds.train_idx, (5, 5), 16,
+            {"vip": VIPAnalyticPolicy()}, alphas=[0.2, 0.4],
+            trace=trace, seed=0,
+        )
+        g = geometric_mean_improvement(res, "vip")
+        assert g >= 1.0
+        with pytest.raises(ValueError, match="no results"):
+            geometric_mean_improvement(res, "bogus")
+
+    def test_no_cache_policy_matches_baseline(self, trace_setup):
+        ds, part, trace = trace_setup
+        res = evaluate_policies(
+            ds.graph, part, ds.train_idx, (5, 5), 16,
+            {"nc": NoCachePolicy()}, alphas=[0.5], trace=trace, seed=0,
+            include_oracle=False,
+        )
+        vols = {r.policy: r.volume for r in res}
+        assert vols["nc"] == pytest.approx(vols["none"])

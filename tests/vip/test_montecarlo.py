@@ -1,0 +1,112 @@
+"""Monte-Carlo validation of Proposition 1 against the real random process.
+
+The heart of the paper: the analytic VIP model must describe the actual
+node-wise neighborhood-expansion process.  Hop-1 probabilities are exact
+under independent Bernoulli seed sets; multi-hop probabilities carry the
+paper's independence approximation, so they are validated on accuracy in the
+realistic small-probability regime and on *ranking* fidelity (what the
+caching policy consumes) elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, power_law_community_graph
+from repro.sampling import sample_neighbors
+from repro.vip import montecarlo_inclusion_frequency, vip_probabilities
+
+
+@pytest.fixture(scope="module")
+def pl_graph():
+    g, _ = power_law_community_graph(800, 8.0, num_communities=8, seed=1)
+    return g
+
+
+def union_with_seeds(res, p0):
+    """1 - (1-p0) * prod_h (1-p[h]) — inclusion in seeds or any hop."""
+    out = 1.0 - (1.0 - p0) * np.prod([1.0 - h for h in res.hopwise], axis=0)
+    return out
+
+
+class TestHopOneExactness:
+    def test_hop1_matches_simulation(self, pl_graph, rng):
+        g = pl_graph
+        p0 = np.zeros(g.num_vertices)
+        train = rng.choice(g.num_vertices, 100, replace=False)
+        p0[train] = 0.1
+        res = vip_probabilities(g, p0, (4,))
+
+        trials = 3000
+        hits = np.zeros(g.num_vertices)
+        for _ in range(trials):
+            seeds = np.flatnonzero(rng.random(g.num_vertices) < p0)
+            _, src = sample_neighbors(g, seeds, 4, rng)
+            hits[np.unique(src)] += 1
+        emp = hits / trials
+        # Exact up to binomial noise; tolerance = ~4.5 sigma of the largest p.
+        sigma = np.sqrt(np.maximum(res.hopwise[0] * (1 - res.hopwise[0]), 1e-4) / trials)
+        assert np.all(np.abs(res.hopwise[0] - emp) < 4.5 * sigma + 5e-3)
+
+
+class TestMultiHop:
+    def test_small_probability_regime_accuracy(self, pl_graph, rng):
+        g = pl_graph
+        p0 = np.zeros(g.num_vertices)
+        train = rng.choice(g.num_vertices, 160, replace=False)
+        p0[train] = 0.02  # B/|T| regime of the paper
+        res = vip_probabilities(g, p0, (3, 2))
+        mc = montecarlo_inclusion_frequency(
+            g, train, (3, 2), 0, trials=3000, seed=5, initial=p0)
+        analytic = union_with_seeds(res, p0)
+        # Mean absolute error well under the mean probability.
+        assert np.abs(analytic - mc).mean() < 0.25 * max(analytic.mean(), 1e-6)
+
+    def test_ranking_fidelity(self, pl_graph, rng):
+        """What caching consumes is the ranking: analytic VIP must order
+        vertices like their true access frequencies."""
+        g = pl_graph
+        train = rng.choice(g.num_vertices, 120, replace=False)
+        p0 = np.zeros(g.num_vertices)
+        p0[train] = 0.05
+        res = vip_probabilities(g, p0, (4, 3))
+        mc = montecarlo_inclusion_frequency(
+            g, train, (4, 3), 0, trials=2500, seed=6, initial=p0)
+        analytic = union_with_seeds(res, p0)
+        corr = np.corrcoef(analytic, mc)[0, 1]
+        assert corr > 0.95
+        # Spearman (rank) correlation on the frequently-accessed vertices.
+        sel = mc > np.quantile(mc, 0.5)
+        ra = np.argsort(np.argsort(analytic[sel]))
+        rm = np.argsort(np.argsort(mc[sel]))
+        spearman = np.corrcoef(ra, rm)[0, 1]
+        assert spearman > 0.8
+
+    def test_full_expansion_reachability_bound(self, rng):
+        """With full expansion the analytic union over-approximates (hop
+        events are positively correlated), but never under-approximates the
+        true reachability by more than noise."""
+        g = erdos_renyi(200, 4.0, seed=2)
+        train = rng.choice(g.num_vertices, 20, replace=False)
+        p0 = np.zeros(g.num_vertices)
+        p0[train] = 0.3
+        res = vip_probabilities(g, p0, (-1, -1))
+        mc = montecarlo_inclusion_frequency(
+            g, train, (-1, -1), 0, trials=1500, seed=7, initial=p0)
+        analytic = union_with_seeds(res, p0)
+        assert np.all(analytic >= mc - 0.08)
+
+
+class TestMinibatchWithoutReplacement:
+    def test_fixed_size_minibatch_mode(self, pl_graph):
+        """The train-set/batch-size entry point (no `initial`) draws fixed
+        minibatches without replacement; frequencies still track VIP."""
+        g = pl_graph
+        train = np.arange(0, g.num_vertices, 5)
+        from repro.vip import vip_for_training_set
+
+        res = vip_for_training_set(g, train, (4, 3), batch_size=16)
+        mc = montecarlo_inclusion_frequency(g, train, (4, 3), 16,
+                                            trials=1500, seed=9)
+        analytic = union_with_seeds(res, res.initial)
+        corr = np.corrcoef(analytic, mc)[0, 1]
+        assert corr > 0.9

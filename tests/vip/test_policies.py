@@ -1,0 +1,110 @@
+"""Caching-policy tests: selection contract and the Figure-2 ordering."""
+
+import numpy as np
+import pytest
+
+from repro.vip import (
+    CacheContext,
+    DegreePolicy,
+    HaloPolicy,
+    NoCachePolicy,
+    NumPathsPolicy,
+    OraclePolicy,
+    SimulationPolicy,
+    VIPAnalyticPolicy,
+    WeightedReversePageRankPolicy,
+    build_caches,
+    cache_budget,
+    default_policies,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    tiny_partition = request.getfixturevalue("tiny_partition")
+    return CacheContext(
+        graph=tiny_dataset.graph,
+        partition=tiny_partition,
+        train_idx=tiny_dataset.train_idx,
+        fanouts=(5, 5),
+        batch_size=16,
+        seed=0,
+    )
+
+
+class TestBudget:
+    def test_cache_budget(self):
+        assert cache_budget(1000, 4, 0.2) == 50
+        assert cache_budget(1000, 4, 0.0) == 0
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="replication factor"):
+            cache_budget(100, 2, -0.1)
+
+
+class TestSelectionContract:
+    @pytest.mark.parametrize("factory", list(default_policies().values()))
+    def test_never_caches_local_or_overflows(self, ctx, factory):
+        policy = factory()
+        budget = 30
+        for k in range(ctx.partition.num_parts):
+            sel = policy.select(ctx, k, budget)
+            assert len(sel) <= budget
+            if len(sel):
+                assert np.all(ctx.partition.assignment[sel] != k)
+                assert np.all(np.diff(sel) > 0)  # sorted unique
+
+    def test_zero_budget(self, ctx):
+        assert len(VIPAnalyticPolicy().select(ctx, 0, 0)) == 0
+
+    def test_none_policy_empty(self, ctx):
+        assert len(NoCachePolicy().select(ctx, 0, 100)) == 0
+
+    def test_build_caches(self, ctx):
+        caches = build_caches(VIPAnalyticPolicy(), ctx, alpha=0.2)
+        assert len(caches) == ctx.partition.num_parts
+        budget = cache_budget(ctx.graph.num_vertices, ctx.partition.num_parts, 0.2)
+        assert all(len(c) <= budget for c in caches)
+
+
+class TestPolicySemantics:
+    def test_degree_restricted_to_reachable(self, ctx):
+        s = DegreePolicy().scores(ctx, 0)
+        # Unreachable vertices score zero.
+        assert (s == 0).sum() >= 0
+        positive = np.flatnonzero(s > 0)
+        assert len(positive) > 0
+
+    def test_halo_support_is_one_hop(self, ctx):
+        s = HaloPolicy().scores(ctx, 0)
+        support = np.flatnonzero(s > 0)
+        local = np.flatnonzero(ctx.partition.assignment == 0)
+        one_hop = set(local.tolist())
+        for v in local:
+            one_hop.update(ctx.graph.neighbors(v).tolist())
+        assert set(support.tolist()) <= one_hop
+
+    def test_wpr_mass_positive_near_train(self, ctx):
+        s = WeightedReversePageRankPolicy().scores(ctx, 0)
+        assert s[ctx.local_train(0)].min() > 0
+
+    def test_numpaths_counts_paths(self, ctx):
+        s = NumPathsPolicy().scores(ctx, 0)
+        assert s.max() > 0
+
+    def test_sim_counts_are_integers(self, ctx):
+        s = SimulationPolicy(epochs=1).scores(ctx, 0)
+        assert np.all(s >= 0)
+        assert np.allclose(s, np.round(s))
+
+    def test_vip_scores_are_probabilities(self, ctx):
+        s = VIPAnalyticPolicy().scores(ctx, 0)
+        assert np.all((0 <= s) & (s <= 1))
+
+    def test_oracle_uses_injected_counts(self, ctx):
+        counts = np.zeros((ctx.partition.num_parts, ctx.graph.num_vertices))
+        remote = np.flatnonzero(ctx.partition.assignment != 0)
+        counts[0, remote[:5]] = 10.0
+        sel = OraclePolicy(counts).select(ctx, 0, 3)
+        assert set(sel.tolist()) <= set(remote[:5].tolist())
