@@ -4,7 +4,7 @@ Every benchmark module reproduces one table or figure of the paper: it runs
 the corresponding experiment on the mini datasets, prints a paper-vs-measured
 table, writes the same table under ``benchmarks/results/``, and asserts the
 paper's *qualitative* claim (orderings, crossovers, reduction factors — see
-DESIGN.md §5 on calibration).
+docs/architecture.md, "Datasets and calibration").
 
 Heavyweight artifacts (datasets, partitions, VIP matrices) are cached at
 session scope so the suite shares preprocessing, mirroring the paper's

@@ -1,6 +1,6 @@
 """Ablation: partitioner quality and its effect on communication volume.
 
-Not a paper figure — DESIGN.md's design-choice bench.  SALIENT++ is agnostic
+Not a paper figure — a design-choice bench.  SALIENT++ is agnostic
 to the partitioning source (§5.3); this ablation quantifies why a METIS-like
 multilevel cut matters: the no-cache communication volume tracks the edge
 cut, and VIP caching helps on top of any partitioner.

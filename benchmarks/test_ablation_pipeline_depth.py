@@ -1,6 +1,6 @@
 """Ablation: pipeline depth (SALIENT++ keeps 10 minibatches in flight).
 
-Not a paper figure — DESIGN.md's design-choice bench for §4.3.  Epoch time
+Not a paper figure — a design-choice bench for §4.3.  Epoch time
 must fall monotonically with depth and saturate well before 10 (the depth
 exists to cover the longest stage chain, not to add raw parallelism).
 """

@@ -6,7 +6,9 @@ Networks with Probabilistic Neighborhood Expansion Analysis and Caching*
 caching, and a simulated distributed multi-GPU training system (SALIENT++)
 with a deep minibatch-preparation pipeline — plus every substrate it needs
 (CSR graphs, a METIS-like partitioner, a node-wise neighborhood sampler, a
-numpy GNN stack, and a discrete-event performance model).
+numpy GNN stack, and a discrete-event performance model), and a dynamic
+cache subsystem (LRU/LFU/CLOCK + periodic VIP refresh) for non-stationary
+workloads beyond the paper.
 
 Quickstart
 ----------

@@ -36,9 +36,14 @@ class RunConfig:
     # Storage strategy (§4.1, §4.2).
     full_replication: bool = False          # SALIENT baseline
     replication_factor: float = 0.0         # α — remote cache size ~ αN/K
-    cache_policy: str = "vip"               # policy registry name
+    cache_policy: str = "vip"               # static or dynamic registry name
     gpu_fraction: float = 0.0               # β — local rows resident on GPU
     vip_reorder: bool = True                # §4.1 local ordering
+    # Dynamic caching (cache_policy in {"lru", "lfu", "clock", "vip-refresh"}):
+    # batches between vip-refresh cache swaps (ignored by other policies), and
+    # batches between frequency-aging steps of the replacement policies.
+    refresh_interval: int = 50
+    cache_aging_interval: int = 64
 
     # Pipeline (§4.3).
     pipeline: PipelineMode = PipelineMode.FULL
@@ -75,6 +80,8 @@ class RunConfig:
             storage = "full replication"
         elif self.replication_factor > 0:
             storage = f"partitioned + {self.cache_policy} cache (a={self.replication_factor:g})"
+            if self.cache_policy == "vip-refresh":
+                storage += f" every {self.refresh_interval} batches"
         else:
             storage = "partitioned"
         return (f"{storage}, pipeline={self.pipeline.value}, K={self.num_machines}, "

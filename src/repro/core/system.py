@@ -6,7 +6,9 @@ preprocessing + runtime does:
 1. partition the graph (METIS-like, multi-constraint balanced);
 2. compute partition-wise VIP vectors (Proposition 1);
 3. reorder vertices partition-contiguously, VIP-descending within partitions;
-4. select each machine's remote-feature cache with the configured policy;
+4. select each machine's remote-feature cache with the configured policy
+   (static rankings, or a dynamic LRU/LFU/CLOCK/vip-refresh cache
+   warm-started from the analytic-VIP selection);
 5. build the partitioned feature store (GPU prefix β, cache α);
 6. train with the bulk-synchronous distributed executor (functionally real
    numpy GNN training), recording exact per-step workload volumes;
@@ -26,6 +28,11 @@ import numpy as np
 
 from repro.core.config import RunConfig
 from repro.distributed.cluster import ClusterSpec
+from repro.distributed.dynamic_cache import (
+    DYNAMIC_CACHE_POLICIES,
+    DynamicCacheSpec,
+    is_dynamic_policy,
+)
 from repro.distributed.executor import DistributedTrainer, EpochReport
 from repro.distributed.feature_store import PartitionedFeatureStore
 from repro.graph.datasets import GraphDataset
@@ -36,11 +43,12 @@ from repro.partition.reorder import ReorderedDataset, reorder_dataset
 from repro.pipeline.costmodel import CostModel, ModelDims
 from repro.pipeline.simulator import PipelineMode, PipelineResult, simulate_epoch
 from repro.utils.rng import derive_seed
-from repro.vip.analytic import partitionwise_vip
+from repro.vip.analytic import partitionwise_vip, vip_for_training_set
 from repro.vip.policies import (
     CacheContext,
     OraclePolicy,
     build_caches,
+    cache_budget,
     default_policies,
 )
 
@@ -136,8 +144,12 @@ class SalientPP:
                 f"partition has {partition.num_parts} parts, config wants {K}"
             )
 
+        # Dynamic caches warm-start from the analytic-VIP selection, so they
+        # need the VIP matrix just like the static "vip" policy does.
+        dynamic = is_dynamic_policy(config.cache_policy)
         needs_vip = config.vip_reorder or (
-            config.replication_factor > 0 and config.cache_policy == "vip"
+            config.replication_factor > 0
+            and (config.cache_policy == "vip" or dynamic)
         )
         if vip_matrix is None and needs_vip:
             vip_matrix = partitionwise_vip(
@@ -156,6 +168,7 @@ class SalientPP:
 
         # §4.2: remote-feature caches (ids in the *new* vertex numbering).
         caches = None
+        dynamic_spec = None
         if config.replication_factor > 0 and not config.full_replication:
             ctx = CacheContext(
                 graph=reordered.dataset.graph,
@@ -165,14 +178,32 @@ class SalientPP:
                 batch_size=config.batch_size,
                 seed=derive_seed(config.seed, "cache"),
             )
-            if config.cache_policy == "vip" and vip_matrix is not None:
+            if (config.cache_policy == "vip" or dynamic) and vip_matrix is not None:
                 # Reuse the already-computed VIP matrix (relabel to new ids).
                 vip_new = vip_matrix[:, reordered.old_of_new]
                 policy = OraclePolicy(vip_new)  # ranking by injected scores
                 policy.name = "vip"
             else:
-                policy = default_policies()[config.cache_policy]()
+                registry = default_policies()
+                if config.cache_policy not in registry:
+                    raise ValueError(
+                        f"unknown cache policy {config.cache_policy!r}; static: "
+                        f"{sorted(registry)}, dynamic: {list(DYNAMIC_CACHE_POLICIES)}"
+                    )
+                policy = registry[config.cache_policy]()
             caches = build_caches(policy, ctx, config.replication_factor)
+            if dynamic:
+                # The VIP selection above is only the warm start; contents
+                # evolve at runtime under the configured policy.
+                dynamic_spec = DynamicCacheSpec(
+                    policy=config.cache_policy,
+                    capacity=cache_budget(
+                        dataset.num_vertices, K, config.replication_factor
+                    ),
+                    refresh_interval=config.refresh_interval,
+                    aging_interval=config.cache_aging_interval,
+                    warm_scores=vip_new if vip_matrix is not None else None,
+                )
 
         if config.full_replication:
             store = PartitionedFeatureStore.build_replicated(
@@ -181,6 +212,7 @@ class SalientPP:
         else:
             store = PartitionedFeatureStore.build(
                 reordered, gpu_fraction=config.gpu_fraction, caches=caches,
+                dynamic=dynamic_spec,
             )
 
         trainer = DistributedTrainer(
@@ -193,6 +225,19 @@ class SalientPP:
             lr=config.lr,
             seed=derive_seed(config.seed, "trainer"),
         )
+        if config.cache_policy == "vip-refresh" and dynamic_spec is not None:
+            # Refreshes re-run Proposition 1 against the machine's *current*
+            # training set (it may have drifted via update_training_set), so
+            # the cache tracks the workload instead of the build-time one.
+            graph = reordered.dataset.graph
+
+            def refresh_scores(machine: int) -> np.ndarray:
+                return vip_for_training_set(
+                    graph, trainer.local_train[machine],
+                    config.fanouts, config.batch_size,
+                ).access
+
+            store.set_refresh_score_provider(refresh_scores)
         dims = ModelDims(dataset.feature_dim, config.hidden_dim, dataset.num_classes)
         cost_model = cls._cost_model_for(config, store, dims, trainer)
         return cls(dataset, config, reordered, store, trainer, cost_model, vip_matrix)
@@ -229,6 +274,12 @@ class SalientPP:
 
     def evaluate(self, split: str = "test", **kwargs) -> float:
         return self.trainer.evaluate(split, **kwargs)
+
+    def update_training_set(self, train_idx: np.ndarray) -> None:
+        """Swap the active training vertices (reordered ids) — the
+        non-stationary-workload hook; see
+        :meth:`repro.distributed.DistributedTrainer.update_training_set`."""
+        self.trainer.update_training_set(train_idx)
 
     # ------------------------------------------------------------------
     @property

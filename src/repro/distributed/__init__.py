@@ -1,6 +1,6 @@
 """Simulated distributed runtime: cluster specs, partitioned feature store
-with CPU/GPU tiers and static caches, byte-accounted collectives, and the
-bulk-synchronous data-parallel trainer."""
+with CPU/GPU tiers and static or dynamic remote caches, byte-accounted
+collectives, and the bulk-synchronous data-parallel trainer."""
 
 from repro.distributed.cluster import GBPS, ClusterSpec, MachineSpec, NetworkSpec
 from repro.distributed.comm import (
@@ -9,10 +9,18 @@ from repro.distributed.comm import (
     broadcast_state,
     gradient_nbytes,
 )
+from repro.distributed.dynamic_cache import (
+    DYNAMIC_CACHE_POLICIES,
+    CacheChurnStats,
+    DynamicCache,
+    DynamicCacheSpec,
+    is_dynamic_policy,
+)
 from repro.distributed.feature_store import (
     GatherStats,
     MachineStore,
     PartitionedFeatureStore,
+    StaticCache,
 )
 from repro.distributed.executor import DistributedTrainer, EpochReport, StepRecord
 
@@ -25,9 +33,15 @@ __all__ = [
     "all_reduce_gradients",
     "broadcast_state",
     "gradient_nbytes",
+    "DYNAMIC_CACHE_POLICIES",
+    "CacheChurnStats",
+    "DynamicCache",
+    "DynamicCacheSpec",
+    "is_dynamic_policy",
     "GatherStats",
     "MachineStore",
     "PartitionedFeatureStore",
+    "StaticCache",
     "DistributedTrainer",
     "EpochReport",
     "StepRecord",

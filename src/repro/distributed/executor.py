@@ -3,9 +3,12 @@
 One Python process simulates K single-GPU machines: each machine owns a
 partition of the (reordered) training vertices, samples its own minibatches
 from its own RNG stream, gathers features through the partitioned store
-(local GPU/CPU tiers, static cache, remote peers), computes forward/backward
-on its own model replica, and synchronizes gradients with an all-reduce —
-the same bulk-synchronous step structure as SALIENT++ on a real cluster.
+(local GPU/CPU tiers, static or dynamic remote cache, remote peers),
+computes forward/backward on its own model replica, and synchronizes
+gradients with an all-reduce — the same bulk-synchronous step structure as
+SALIENT++ on a real cluster.  Non-stationary workloads swap the active
+training set between epochs via :meth:`DistributedTrainer.update_training_set`,
+and dynamic-cache churn is attributed per epoch in the report.
 
 Every step produces a :class:`StepRecord` with the exact workload volumes
 (MFG sizes, candidate edges examined by the sampler, per-category feature
@@ -29,6 +32,7 @@ from repro.distributed.comm import (
     broadcast_state,
     gradient_nbytes,
 )
+from repro.distributed.dynamic_cache import CacheChurnStats
 from repro.distributed.feature_store import GatherStats, PartitionedFeatureStore
 from repro.nn.functional import accuracy, cross_entropy
 from repro.nn.models import MFGModel, build_model
@@ -72,13 +76,18 @@ class StepRecord:
 
 @dataclass
 class EpochReport:
-    """One training epoch's functional results and workload trace."""
+    """One training epoch's functional results and workload trace.
+
+    ``cache_churn`` holds per-machine dynamic-cache churn attributed to this
+    epoch (``None`` when the feature store uses static caches).
+    """
 
     epoch: int
     records: List[StepRecord]
     ledger: CommLedger
     mean_loss: Optional[float]
     steps_per_machine: int
+    cache_churn: Optional[List[CacheChurnStats]] = None
 
     def records_for(self, machine: int) -> List[StepRecord]:
         return [r for r in self.records if r.machine == machine]
@@ -88,6 +97,19 @@ class EpochReport:
 
     def total_cached_rows(self) -> int:
         return int(sum(r.gather.cached_rows for r in self.records))
+
+    def total_refresh_rows(self) -> int:
+        """Rows fetched by ``vip-refresh`` cache swaps this epoch."""
+        return int(sum(r.gather.refresh_fetch_rows for r in self.records))
+
+    def total_comm_rows(self) -> int:
+        """All feature rows moved over the network (demand + cache updates)."""
+        return self.total_remote_rows() + self.total_refresh_rows()
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of non-local feature rows served by the cache."""
+        cached = self.total_cached_rows()
+        return cached / max(cached + self.total_remote_rows(), 1)
 
 
 def _candidate_edges(degrees: np.ndarray, mfg: MFG) -> int:
@@ -156,6 +178,31 @@ class DistributedTrainer:
         self.local_train = [reordered.local_train_ids(k) for k in range(self.num_machines)]
 
     # ------------------------------------------------------------------
+    def update_training_set(self, train_idx: np.ndarray) -> None:
+        """Replace the active training vertices (non-stationary workloads).
+
+        ``train_idx`` uses the reordered (new) vertex numbering; each id is
+        routed to its owning machine.  Every machine must retain at least one
+        full batch, otherwise the bulk-synchronous step structure collapses.
+        With a ``vip-refresh`` cache whose score provider reads
+        ``self.local_train``, the next refresh adapts to the new set.
+        """
+        train_idx = np.asarray(train_idx, dtype=np.int64)
+        owner = self.reordered.owner_of(train_idx)
+        local = [np.sort(train_idx[owner == k]) for k in range(self.num_machines)]
+        short = [k for k in range(self.num_machines)
+                 if len(local[k]) < self.batch_size]
+        if short:
+            raise ValueError(
+                f"machines {short} would have fewer than one batch "
+                f"({self.batch_size} vertices) of training data"
+            )
+        self.local_train = local
+        # A training-set swap is a *known* workload change: refreshing
+        # caches re-score at their next gather instead of waiting out the
+        # periodic interval.
+        self.store.request_refresh()
+
     def steps_per_epoch(self) -> int:
         """Lock-step step count: the minimum full-batch count across
         machines (the paper's partitioner balances training vertices, so
@@ -173,6 +220,7 @@ class DistributedTrainer:
         ledger = CommLedger(self.num_machines)
         records: List[StepRecord] = []
         degrees = self.ds.graph.degrees
+        churn_before = self.store.cache_churn()
 
         iterators = [
             self.samplers[k].batches(
@@ -190,6 +238,9 @@ class DistributedTrainer:
                 feats, stats = self.store.gather(k, mfg.n_id)
                 ledger.record_feature_fetch(k, stats.remote_per_peer,
                                             self.store.bytes_per_row)
+                if stats.refresh_fetch_per_peer is not None:
+                    ledger.record_feature_fetch(k, stats.refresh_fetch_per_peer,
+                                                self.store.bytes_per_row)
                 loss_val = None
                 if not dry_run:
                     model = self.models[k]
@@ -219,12 +270,17 @@ class DistributedTrainer:
                     opt.step()
                 losses.extend(step_losses)
 
+        churn = None
+        if churn_before is not None:
+            churn = [after.delta(before) for after, before
+                     in zip(self.store.cache_churn(), churn_before)]
         return EpochReport(
             epoch=epoch,
             records=records,
             ledger=ledger,
             mean_loss=float(np.mean(losses)) if losses else None,
             steps_per_machine=steps,
+            cache_churn=churn,
         )
 
     def train(self, epochs: int, *, dry_run: bool = False) -> List[EpochReport]:

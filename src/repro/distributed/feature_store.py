@@ -1,4 +1,4 @@
-"""Partitioned feature storage with CPU/GPU tiers and a static remote cache.
+"""Partitioned feature storage with CPU/GPU tiers and a remote-row cache.
 
 Implements §4.1–4.2 of the paper over a :class:`ReorderedDataset` (vertices
 contiguous per partition, VIP-ordered within):
@@ -7,26 +7,38 @@ contiguous per partition, VIP-ordered within):
   prefix* (the first ``gpu_fraction`` of local rows under the current
   ordering — most-accessed first when VIP reordering is on) and a CPU
   remainder;
-* each machine holds a static cache of remote rows selected by a caching
-  policy; cache membership is one boolean lookup (the paper uses a hash
-  table; a bitmap plus a compact row map is the numpy equivalent);
+* each machine holds a cache of remote rows — either the paper's *static*
+  cache (contents fixed at build time by a caching policy) or a
+  :class:`~repro.distributed.dynamic_cache.DynamicCache` (LRU / LFU / CLOCK
+  replacement, or periodic VIP refresh); either way, cache membership is one
+  boolean-equivalent lookup (the paper uses a hash table; a per-vertex slot
+  map is the numpy equivalent), so the gather path is identical for both;
 * gathering features for a sampled neighborhood categorizes every vertex as
   local-GPU / local-CPU / cached-remote / remote-per-peer, returns the
   correctly assembled feature matrix, and reports exact per-category row
-  counts — the quantities the performance model charges for.
+  counts — the quantities the performance model charges for.  With a dynamic
+  cache, the gather additionally updates the cache (hit metadata, admission
+  of missed rows, refresh swaps) *after* the stats are taken, so counts
+  always describe the cache state the request actually saw.
 
 This is *functional* storage: remote rows are really copied out of the
 owning machine's store, so tests can assert bit-identical results against
-direct indexing of the monolithic feature array.
+direct indexing of the monolithic feature array — including across cache
+evictions and refreshes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.distributed.dynamic_cache import (
+    CacheChurnStats,
+    DynamicCache,
+    DynamicCacheSpec,
+)
 from repro.partition.reorder import ReorderedDataset
 
 
@@ -35,7 +47,12 @@ class GatherStats:
     """Exact per-category row counts for one gather (one minibatch).
 
     ``remote_per_peer[j]`` is the number of rows requested from machine
-    ``j`` (0 for self and for fully cached peers).
+    ``j`` (0 for self and for fully cached peers).  The cache-churn fields
+    are zero for static caches: ``cache_insertions`` / ``cache_evictions``
+    count dynamic-cache content changes this gather triggered, and
+    ``refresh_fetch_per_peer`` counts rows a ``vip-refresh`` swap pulled
+    from each peer (cache-update traffic, charged by the cost model on top
+    of the demand fetches).
     """
 
     total_rows: int
@@ -44,13 +61,72 @@ class GatherStats:
     cached_rows: int
     remote_rows: int
     remote_per_peer: np.ndarray
+    cache_insertions: int = 0
+    cache_evictions: int = 0
+    refresh_fetch_per_peer: Optional[np.ndarray] = None
 
     def remote_fraction(self) -> float:
         return self.remote_rows / max(self.total_rows, 1)
 
+    @property
+    def refresh_fetch_rows(self) -> int:
+        if self.refresh_fetch_per_peer is None:
+            return 0
+        return int(self.refresh_fetch_per_peer.sum())
+
+    def comm_rows(self) -> int:
+        """All rows this gather moved over the network (demand + refresh)."""
+        return self.remote_rows + self.refresh_fetch_rows
+
+
+class StaticCache:
+    """The paper's static cache: contents selected once, never mutated.
+
+    Shares the lookup interface (``contains`` / ``rows_for`` / ``ids`` /
+    ``num_cached`` / ``nbytes``) with :class:`DynamicCache`.
+    """
+
+    is_dynamic = False
+
+    def __init__(self, num_vertices: int, ids: np.ndarray, rows: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) != len(rows):
+            raise ValueError("cache_ids and cache_features must align")
+        self._ids = ids
+        self._rows = rows
+        self._slot_of = np.full(num_vertices, -1, dtype=np.int64)
+        if len(ids):
+            if len(np.unique(ids)) != len(ids):
+                raise ValueError("duplicate cache ids")
+            self._slot_of[ids] = np.arange(len(ids))
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._ids
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._ids)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._rows.nbytes)
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        return self._slot_of[ids] >= 0
+
+    def rows_for(self, ids: np.ndarray) -> np.ndarray:
+        return self._rows[self._slot_of[ids]]
+
 
 class MachineStore:
-    """One machine's feature storage (local split + remote cache)."""
+    """One machine's feature storage (local split + remote cache).
+
+    The remote cache is a :class:`StaticCache` by default; pass ``dynamic``
+    to build a :class:`DynamicCache` instead, warm-started with the given
+    ``cache_ids`` / ``cache_features`` (and primed with
+    ``dynamic.warm_scores`` when available).
+    """
 
     def __init__(
         self,
@@ -62,6 +138,7 @@ class MachineStore:
         cache_ids: np.ndarray,
         cache_features: np.ndarray,
         num_vertices: int,
+        dynamic: Optional[DynamicCacheSpec] = None,
     ):
         if not 0 <= gpu_rows <= hi - lo:
             raise ValueError(f"gpu_rows must be in [0, {hi - lo}], got {gpu_rows}")
@@ -71,16 +148,18 @@ class MachineStore:
         self.lo, self.hi = lo, hi
         self.local_features = local_features
         self.gpu_rows = gpu_rows
-        self.cache_ids = np.asarray(cache_ids, dtype=np.int64)
-        self.cache_features = cache_features
-        # O(1) membership + row lookup (bitmap stands in for the hash table).
-        self._cache_mask = np.zeros(num_vertices, dtype=bool)
-        self._cache_row = np.zeros(num_vertices, dtype=np.int64)
-        if len(self.cache_ids):
-            if self._cache_mask[self.cache_ids].any():
-                raise ValueError("duplicate cache ids")
-            self._cache_mask[self.cache_ids] = True
-            self._cache_row[self.cache_ids] = np.arange(len(self.cache_ids))
+        cache_ids = np.asarray(cache_ids, dtype=np.int64)
+        if dynamic is None:
+            self.cache = StaticCache(num_vertices, cache_ids, cache_features)
+        else:
+            prior = (dynamic.warm_scores[part_id]
+                     if dynamic.warm_scores is not None else None)
+            self.cache = DynamicCache(
+                num_vertices, local_features.shape[1],
+                local_features.dtype, dynamic,
+                warm_ids=cache_ids, warm_rows=cache_features,
+                prior_scores=prior,
+            )
 
     @property
     def num_local(self) -> int:
@@ -88,13 +167,22 @@ class MachineStore:
 
     @property
     def num_cached(self) -> int:
-        return len(self.cache_ids)
+        return self.cache.num_cached
+
+    @property
+    def cache_ids(self) -> np.ndarray:
+        """Currently cached remote vertex ids (static: the build-time set)."""
+        return self.cache.ids
+
+    @property
+    def has_dynamic_cache(self) -> bool:
+        return self.cache.is_dynamic
 
     def is_local(self, ids: np.ndarray) -> np.ndarray:
         return (ids >= self.lo) & (ids < self.hi)
 
     def is_cached(self, ids: np.ndarray) -> np.ndarray:
-        return self._cache_mask[ids]
+        return self.cache.contains(ids)
 
     def local_rows(self, ids: np.ndarray) -> np.ndarray:
         """Feature rows for local vertex ids."""
@@ -102,10 +190,10 @@ class MachineStore:
 
     def cached_rows(self, ids: np.ndarray) -> np.ndarray:
         """Feature rows for cached remote vertex ids."""
-        return self.cache_features[self._cache_row[ids]]
+        return self.cache.rows_for(ids)
 
     def feature_memory_bytes(self) -> int:
-        return int(self.local_features.nbytes + self.cache_features.nbytes)
+        return int(self.local_features.nbytes + self.cache.nbytes)
 
 
 class PartitionedFeatureStore:
@@ -121,6 +209,7 @@ class PartitionedFeatureStore:
         self.reordered = reordered
         self.feature_dim = feature_dim
         self.itemsize = itemsize
+        self._refresh_score_fn: Optional[Callable[[int], np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -130,6 +219,7 @@ class PartitionedFeatureStore:
         *,
         gpu_fraction: float = 1.0,
         caches: Optional[Sequence[np.ndarray]] = None,
+        dynamic: Optional[DynamicCacheSpec] = None,
     ) -> "PartitionedFeatureStore":
         """Partition the reordered dataset's features across machines.
 
@@ -140,7 +230,11 @@ class PartitionedFeatureStore:
             β·|local| rows in the current ordering — Figure 6's x-axis).
         caches:
             Per-machine arrays of remote vertex ids to replicate (from
-            :func:`repro.vip.build_caches`); ``None`` = no caching.
+            :func:`repro.vip.build_caches`); ``None`` = no caching.  With
+            ``dynamic`` set, these become the warm-start contents.
+        dynamic:
+            Build :class:`DynamicCache` instances instead of static caches
+            (one per machine, per the spec).
         """
         if not 0.0 <= gpu_fraction <= 1.0:
             raise ValueError(f"gpu_fraction must be in [0, 1], got {gpu_fraction}")
@@ -169,6 +263,7 @@ class PartitionedFeatureStore:
                 cache_ids=cache_ids,
                 cache_features=np.ascontiguousarray(ds.features[cache_ids]),
                 num_vertices=ds.num_vertices,
+                dynamic=dynamic,
             ))
         return cls(stores, reordered, ds.feature_dim, ds.features.itemsize)
 
@@ -220,6 +315,26 @@ class PartitionedFeatureStore:
     def bytes_per_row(self) -> int:
         return self.feature_dim * self.itemsize
 
+    def set_refresh_score_provider(
+        self, fn: Optional[Callable[[int], np.ndarray]]
+    ) -> None:
+        """Wire the score function ``vip-refresh`` caches swap against.
+
+        ``fn(machine)`` must return per-vertex scores of length ``N`` (e.g.
+        analytic VIP recomputed for the machine's *current* training set);
+        entries for the machine's local vertices are ignored.  Without a
+        provider, refreshes fall back to the access counts the cache
+        observed since its last refresh (GNNLab-style empirical refresh).
+        """
+        self._refresh_score_fn = fn
+
+    def request_refresh(self) -> None:
+        """Ask every ``vip-refresh`` cache to refresh at its next gather —
+        the hook for known workload changes (training-set swaps)."""
+        for s in self.stores:
+            if s.has_dynamic_cache:
+                s.cache.request_refresh()
+
     def gather(self, machine: int, ids: np.ndarray):
         """Gather feature rows for ``ids`` as seen from ``machine``.
 
@@ -228,10 +343,16 @@ class PartitionedFeatureStore:
         rows are copied from the owning peers' local stores (never from any
         monolithic array), so correctness of the distributed layout is
         exercised on every call.
+
+        When ``machine`` has a dynamic cache the gather also maintains it:
+        hits refresh replacement metadata, missed rows are admitted (LRU /
+        LFU / CLOCK), and due refreshes swap the contents — all *after* the
+        stats are computed, so every count describes the cache state this
+        request actually saw.  Refresh fetches are reported separately in
+        ``stats.refresh_fetch_per_peer``.
         """
         ids = np.asarray(ids, dtype=np.int64)
         store = self.stores[machine]
-        K = self.num_machines
         out = np.empty((len(ids), self.feature_dim), dtype=store.local_features.dtype)
 
         local_mask = store.is_local(ids)
@@ -249,14 +370,8 @@ class PartitionedFeatureStore:
 
         remote_pos = np.flatnonzero(nonlocal_mask)[~cached_mask_nl]
         remote_ids = nl_ids[~cached_mask_nl]
-        remote_per_peer = np.zeros(K, dtype=np.int64)
-        if len(remote_ids):
-            owners = self.reordered.owner_of(remote_ids)
-            for peer in np.unique(owners):
-                sel = owners == peer
-                peer_store = self.stores[peer]
-                out[remote_pos[sel]] = peer_store.local_rows(remote_ids[sel])
-                remote_per_peer[peer] = int(sel.sum())
+        remote_rows, remote_per_peer = self._fetch_remote_rows(machine, remote_ids)
+        out[remote_pos] = remote_rows
 
         stats = GatherStats(
             total_rows=len(ids),
@@ -266,7 +381,71 @@ class PartitionedFeatureStore:
             remote_rows=len(remote_ids),
             remote_per_peer=remote_per_peer,
         )
+        if store.has_dynamic_cache:
+            self._maintain_dynamic_cache(
+                store, stats, cached_ids, remote_ids, out, remote_pos, nl_ids,
+            )
         return out, stats
+
+    def _maintain_dynamic_cache(
+        self,
+        store: MachineStore,
+        stats: GatherStats,
+        cached_ids: np.ndarray,
+        remote_ids: np.ndarray,
+        out: np.ndarray,
+        remote_pos: np.ndarray,
+        accessed_remote_ids: np.ndarray,
+    ) -> None:
+        """Post-gather cache update: hits, admissions, and due refreshes."""
+        cache: DynamicCache = store.cache
+        evictions_before = cache.churn.evictions
+        cache.note_hits(cached_ids)
+        stats.cache_insertions += cache.admit(remote_ids, out[remote_pos])
+        if cache.end_batch(accessed_remote_ids):
+            if self._refresh_score_fn is not None:
+                scores = np.asarray(
+                    self._refresh_score_fn(store.part_id), dtype=np.float64
+                ).copy()
+            else:
+                scores = cache.observed_scores()
+            scores[store.lo:store.hi] = 0.0  # locals never need caching
+            plan = cache.plan_refresh(scores,
+                                      horizon=cache.spec.refresh_interval)
+            new_rows, fetch_per_peer = self._fetch_remote_rows(
+                store.part_id, plan.new_ids
+            )
+            cache.commit_refresh(plan, new_rows)
+            stats.refresh_fetch_per_peer = fetch_per_peer
+            stats.cache_insertions += len(plan.new_ids)
+        stats.cache_evictions = cache.churn.evictions - evictions_before
+
+    def _fetch_remote_rows(self, machine: int, ids: np.ndarray):
+        """Copy rows for remote ``ids`` from their owners (refresh traffic)."""
+        rows = np.empty((len(ids), self.feature_dim),
+                        dtype=self.stores[machine].local_features.dtype)
+        per_peer = np.zeros(self.num_machines, dtype=np.int64)
+        if len(ids):
+            owners = self.reordered.owner_of(ids)
+            for peer in np.unique(owners):
+                sel = owners == peer
+                rows[sel] = self.stores[peer].local_rows(ids[sel])
+                per_peer[peer] = int(sel.sum())
+        return rows, per_peer
+
+    # ------------------------------------------------------------------
+    @property
+    def has_dynamic_caches(self) -> bool:
+        return any(s.has_dynamic_cache for s in self.stores)
+
+    def cache_churn(self) -> Optional[List[CacheChurnStats]]:
+        """Per-machine cumulative churn snapshots (``None`` for static
+        caches).  Snapshot-and-diff with :meth:`CacheChurnStats.delta` to
+        attribute churn to an epoch."""
+        if not self.has_dynamic_caches:
+            return None
+        return [s.cache.churn.copy() if s.has_dynamic_cache else CacheChurnStats()
+                for s in self.stores]
 
     # ------------------------------------------------------------------
     def total_feature_memory_bytes(self) -> int:

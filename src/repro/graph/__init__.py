@@ -3,11 +3,13 @@
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import (
     chung_lu,
+    drifting_training_sets,
     erdos_renyi,
     pareto_degree_weights,
     power_law_community_graph,
     rmat,
     stochastic_block_model,
+    streaming_request_stream,
 )
 from repro.graph.datasets import (
     DATASET_REGISTRY,
@@ -27,7 +29,9 @@ __all__ = [
     "chung_lu",
     "erdos_renyi",
     "pareto_degree_weights",
+    "drifting_training_sets",
     "power_law_community_graph",
+    "streaming_request_stream",
     "rmat",
     "stochastic_block_model",
     "DATASET_REGISTRY",

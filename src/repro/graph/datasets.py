@@ -1,7 +1,7 @@
 """Benchmark datasets: scaled-down stand-ins for the paper's OGB graphs.
 
-The paper's Table 2 datasets and their stand-ins (see DESIGN.md §1 for the
-substitution rationale):
+The paper's Table 2 datasets and their stand-ins (see docs/architecture.md,
+"Datasets and calibration", for the substitution rationale):
 
 ======================  ==========================  ============================
 Paper dataset           Size (V / E / D / train)    Stand-in (V / E~ / D / train)

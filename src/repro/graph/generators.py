@@ -1,4 +1,4 @@
-"""Synthetic graph generators.
+"""Synthetic graph and workload generators.
 
 The paper evaluates on OGB graphs (ogbn-products, ogbn-papers100M,
 lsc-mag240) which are unavailable offline at full scale; the generators here
@@ -11,13 +11,20 @@ edge-cut partitioning are sensitive to:
   edge-cut to find, which in turn makes the local/remote vertex split (and
   hence communication volume) realistic.
 
+Beyond graphs, this module also generates *non-stationary workloads* for
+the dynamic-cache experiments: :func:`drifting_training_sets` (the active
+training set migrates across graph communities between epochs) and
+:func:`streaming_request_stream` (online-inference request batches whose
+popularity hot set shifts over time).  Both produce workloads where the
+build-time static VIP cache goes stale and adaptive policies pay off.
+
 All generators take a seed / :class:`numpy.random.Generator` and are fully
 vectorized (no per-vertex Python loops).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -224,3 +231,126 @@ def power_law_community_graph(
     keep = src != dst
     g = CSRGraph.from_edges(src[keep], dst[keep], n, dedup=True).to_undirected()
     return g, community
+
+
+# ----------------------------------------------------------------------
+# Non-stationary workload generators (dynamic-cache experiments).
+
+
+def drifting_training_sets(
+    train_pool: np.ndarray,
+    community: np.ndarray,
+    num_phases: int,
+    *,
+    active_fraction: float = 0.4,
+    window_fraction: float = 0.3,
+    background_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Training sets that migrate across graph communities between phases.
+
+    Phase ``t`` activates ``active_fraction`` of the training pool, drawn
+    mostly from a sliding window of ``window_fraction`` of the communities
+    (the window rotates one full circle over the phases, wrapping around)
+    plus a ``background_fraction`` share sampled uniformly from the whole
+    pool.  The windowed part makes the *neighborhood-expansion* hot set
+    move through the graph — exactly the drift that stales a build-time VIP
+    cache — while the uniform background keeps every partition of a
+    community-aware partitioner supplied with seeds, so the bulk-synchronous
+    trainer never starves.
+
+    Parameters
+    ----------
+    train_pool:
+        Candidate training vertex ids (e.g. ``dataset.train_idx``, in
+        whatever vertex numbering the consumer uses).
+    community:
+        Per-vertex community labels aligned with that numbering
+        (``dataset.community``).
+    num_phases:
+        Number of training sets to generate (typically one per epoch).
+
+    Returns
+    -------
+    list of ``num_phases`` sorted id arrays (phases may overlap).
+    """
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError(f"active_fraction must be in (0, 1], got {active_fraction}")
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError(f"window_fraction must be in (0, 1], got {window_fraction}")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ValueError(
+            f"background_fraction must be in [0, 1], got {background_fraction}"
+        )
+    rng = as_generator(seed)
+    pool = np.asarray(train_pool, dtype=np.int64)
+    comm = np.asarray(community)[pool]
+    comm_ids = np.unique(comm)
+    C = len(comm_ids)
+    win = max(1, int(round(window_fraction * C)))
+    size = max(1, int(round(active_fraction * len(pool))))
+    n_bg = int(round(background_fraction * size))
+
+    phases = []
+    for t in range(num_phases):
+        start = int(round(t * C / max(num_phases, 1))) % C
+        window = comm_ids[(np.arange(win) + start) % C]
+        in_window = np.isin(comm, window)
+        windowed = pool[in_window]
+        n_win = min(size - n_bg, len(windowed))
+        chosen = rng.choice(windowed, size=n_win, replace=False) if n_win else \
+            np.empty(0, dtype=np.int64)
+        # Uniform background (plus top-up if the window ran short).
+        rest = pool[~np.isin(pool, chosen)]
+        n_rest = min(size - n_win, len(rest))
+        if n_rest:
+            chosen = np.concatenate([chosen, rng.choice(rest, size=n_rest,
+                                                        replace=False)])
+        phases.append(np.sort(chosen))
+    return phases
+
+
+def streaming_request_stream(
+    candidate_ids: np.ndarray,
+    num_batches: int,
+    batch_size: int,
+    *,
+    hot_fraction: float = 0.05,
+    hot_mass: float = 0.8,
+    drift_interval: int = 50,
+    seed: SeedLike = None,
+) -> Iterator[np.ndarray]:
+    """Online-inference request batches with a drifting popularity hot set.
+
+    Each batch draws ``batch_size`` distinct seed vertices from
+    ``candidate_ids``: with probability mass ``hot_mass`` from the current
+    *hot set* (``hot_fraction`` of the candidates), uniformly otherwise —
+    the skewed-and-shifting traffic shape of a production inference service
+    (trending items, news cycles).  Every ``drift_interval`` batches a fresh
+    hot set is drawn, so frequency state built on the old one goes stale.
+
+    Yields ``num_batches`` sorted id arrays.
+    """
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0.0 <= hot_mass <= 1.0:
+        raise ValueError(f"hot_mass must be in [0, 1], got {hot_mass}")
+    if drift_interval <= 0:
+        raise ValueError(f"drift_interval must be positive, got {drift_interval}")
+    rng = as_generator(seed)
+    cand = np.asarray(candidate_ids, dtype=np.int64)
+    n_hot = max(1, int(round(hot_fraction * len(cand))))
+    hot = rng.choice(cand, size=n_hot, replace=False)
+    for b in range(num_batches):
+        if b > 0 and b % drift_interval == 0:
+            hot = rng.choice(cand, size=n_hot, replace=False)
+        n_from_hot = min(rng.binomial(batch_size, hot_mass), n_hot)
+        picks = rng.choice(hot, size=n_from_hot, replace=False)
+        n_cold = batch_size - n_from_hot
+        if n_cold:
+            # Cold picks come from outside the hot picks so the batch keeps
+            # exactly batch_size distinct seeds.
+            pool = np.setdiff1d(cand, picks)
+            cold = rng.choice(pool, size=min(n_cold, len(pool)), replace=False)
+            picks = np.concatenate([picks, cold])
+        yield np.sort(picks)

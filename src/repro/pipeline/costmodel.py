@@ -102,10 +102,15 @@ class CostModel:
 
         sample = rec.candidate_edges / m.sample_rate + m.overhead_per_batch
         host_rows = g.cpu_rows + g.cached_rows
-        local_slice = host_rows * bpr / m.cpu_slice_rate
+        # Dynamic-cache maintenance is CPU work: every admitted or refreshed
+        # row is one extra memcpy into the cache slab.
+        cache_update_rows = g.cache_insertions
+        local_slice = (host_rows + cache_update_rows) * bpr / m.cpu_slice_rate
         serve = served_rows * bpr / m.cpu_slice_rate
 
-        remote_rows = g.remote_rows
+        # Cache-update traffic (vip-refresh swaps) rides the same wire as
+        # demand fetches, so it is added to this machine's inbound volume.
+        remote_rows = g.remote_rows + g.refresh_fetch_rows
         if remote_rows == 0 and served_rows == 0:
             request_exchange = 0.0
             feature_comm = 0.0
@@ -119,7 +124,8 @@ class CostModel:
             out_bytes = served_rows * bpr
             feature_comm = net.latency + max(in_bytes, out_bytes) / net.effective_bandwidth
 
-        h2d_rows = host_rows + remote_rows
+        # Only demand rows cross PCIe; refreshed cache rows stay host-side.
+        h2d_rows = host_rows + g.remote_rows
         h2d = h2d_rows * bpr / m.pcie_bandwidth
         gpu_gather = (g.gpu_rows + g.total_rows) * bpr / m.gpu_slice_rate
         train = rec.flops(*self.dims.as_tuple) / m.gpu_flops
@@ -140,8 +146,11 @@ class CostModel:
 
 
 def served_rows_matrix(step_records: Sequence[StepRecord], num_machines: int) -> np.ndarray:
-    """Rows each machine serves in one step: ``served[k] = Σ_j requests j→k``."""
+    """Rows each machine serves in one step: ``served[k] = Σ_j requests j→k``
+    (demand fetches plus any cache-refresh fetches issued that step)."""
     served = np.zeros(num_machines, dtype=np.int64)
     for rec in step_records:
         served += rec.gather.remote_per_peer
+        if rec.gather.refresh_fetch_per_peer is not None:
+            served += rec.gather.refresh_fetch_per_peer
     return served

@@ -1,4 +1,11 @@
-"""Node-wise neighborhood sampling and message-flow graphs."""
+"""Node-wise neighborhood sampling and message-flow graphs (paper §2.2).
+
+The sampler implements exactly the random process analyzed by §3.1 /
+Proposition 1 — at most ``f_h`` neighbors per destination, uniformly
+without replacement, independently across vertices and hops — so the
+analytic VIP model and the executor's measured workloads agree by
+construction.
+"""
 
 from repro.sampling.mfg import MFG, MFGBlock
 from repro.sampling.neighbor import NeighborSampler, num_batches, sample_neighbors

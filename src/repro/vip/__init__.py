@@ -2,7 +2,10 @@
 
 The paper's core contribution: an analytical model (Proposition 1) of which
 vertices a machine's minibatches will touch during node-wise neighborhood
-sampling, and the maximum-likelihood static caching policy it induces.
+sampling, and the maximum-likelihood static caching policy it induces.  The
+policy zoo also registers the dynamic extensions (LRU / LFU / CLOCK and
+periodic VIP refresh, :func:`dynamic_cache_policies`) for non-stationary
+workloads the static analysis cannot serve.
 """
 
 from repro.vip.analytic import (
@@ -32,6 +35,8 @@ from repro.vip.policies import (
     build_caches,
     cache_budget,
     default_policies,
+    dynamic_cache_policies,
+    is_dynamic_policy,
 )
 from repro.vip.commvolume import (
     AccessTrace,
@@ -65,6 +70,8 @@ __all__ = [
     "build_caches",
     "cache_budget",
     "default_policies",
+    "dynamic_cache_policies",
+    "is_dynamic_policy",
     "AccessTrace",
     "PolicyVolume",
     "evaluate_policies",

@@ -1,7 +1,7 @@
-"""Static feature-caching policies (the policy zoo of Figure 2).
+"""Feature-caching policy zoo: static rankings (Figure 2) + dynamic caches.
 
-Every policy answers the same question: for machine ``k``, which remote
-vertices' features should be replicated locally, given a budget of
+Every *static* policy answers the same question: for machine ``k``, which
+remote vertices' features should be replicated locally, given a budget of
 ``alpha * N / K`` cache slots?  Policies differ only in the per-vertex score
 used for ranking:
 
@@ -22,6 +22,24 @@ used for ranking:
 
 All scores are computed *per partition* (footnote 1 of the paper: global
 single-ranking variants of these baselines are strictly weaker).
+
+The *dynamic* policies (see :mod:`repro.distributed.dynamic_cache`) keep the
+same budget but change contents at runtime — the extension for workloads the
+static analysis cannot serve (training-set drift, streaming inference):
+
+===============  =============================================================
+``lru``          Evict the least-recently-used cached row on admission.
+``lfu``          Evict the least-frequently-used row (online empirical VIP).
+``clock``        Second-chance CLOCK approximation of LRU.
+``vip-refresh``  Contents fixed between refreshes; every ``refresh_interval``
+                 batches, swap to the top analytic-VIP vertices for the
+                 *current* training set (observed counts when no provider).
+===============  =============================================================
+
+:func:`dynamic_cache_policies` builds the spec for each name;
+``RunConfig.cache_policy`` accepts either family, and
+:class:`~repro.core.system.SalientPP` warm-starts dynamic caches from the
+static analytic-VIP selection.
 """
 
 from __future__ import annotations
@@ -32,6 +50,11 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.distributed.dynamic_cache import (
+    DYNAMIC_CACHE_POLICIES,
+    DynamicCacheSpec,
+    is_dynamic_policy,
+)
 from repro.graph.csr import CSRGraph
 from repro.partition.interface import Partition
 from repro.utils.rng import SeedLike, derive_seed
@@ -265,6 +288,16 @@ def default_policies() -> Dict[str, Callable[[], CachePolicy]]:
         "numpaths": NumPathsPolicy,
         "sim": SimulationPolicy,
         "vip": VIPAnalyticPolicy,
+    }
+
+
+def dynamic_cache_policies() -> Dict[str, Callable[..., DynamicCacheSpec]]:
+    """Factories for the dynamic side of the zoo: each returns a
+    :class:`DynamicCacheSpec` (pass ``capacity`` / ``refresh_interval`` /
+    ``warm_scores`` through as keyword arguments)."""
+    return {
+        name: (lambda name=name, **kw: DynamicCacheSpec(policy=name, **kw))
+        for name in DYNAMIC_CACHE_POLICIES
     }
 
 
