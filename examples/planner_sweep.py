@@ -1,0 +1,67 @@
+"""Staged preprocessing with the Planner: plans, sweeps, artifact reuse.
+
+Demonstrates the system-construction API around the preprocessing DAG
+(partition -> vip -> reorder -> cache-select -> store -> trainer):
+
+1. inspect the plan for a config — stages, fingerprints, dependencies;
+2. run an α-sweep (Figure 5 / 7 style) through one planner and show that
+   the heavy stages are computed once and then served from the cache;
+3. persist the artifacts on disk and rebuild a variant from a cold planner
+   with zero preprocessing recomputation.
+
+Run:  python examples/planner_sweep.py
+"""
+
+import tempfile
+
+from repro import load_dataset
+from repro.core import ArtifactCache, PREPROCESS_STAGES, Planner, RunConfig
+from repro.utils import Table, format_seconds
+
+
+def main():
+    dataset = load_dataset("products-mini", seed=0)
+    print(f"dataset: {dataset}\n")
+
+    # --- 1. The plan is an inspectable DAG keyed by fingerprints. --------
+    base = RunConfig(num_machines=4, replication_factor=0.16,
+                     gpu_fraction=0.25)
+    planner = Planner()
+    print(planner.plan(dataset, base).describe())
+    print()
+
+    # --- 2. An alpha-sweep: only cache-select (and store/trainer) rerun. -
+    table = Table(["alpha", "epoch time", "realized alpha"],
+                  title="alpha sweep through one planner (products-mini, K=4)")
+    for alpha in (0.04, 0.08, 0.16, 0.32):
+        cfg = RunConfig(num_machines=4, replication_factor=alpha,
+                        gpu_fraction=0.25)
+        system = planner.build(dataset, cfg)
+        table.add_row([f"{alpha:.2f}",
+                       format_seconds(system.mean_epoch_time(epochs=1)),
+                       f"{system.realized_alpha:.3f}"])
+    print(table)
+    stats = Table(["stage", "computed", "memory hits"],
+                  title="stage executions for the 4-variant sweep")
+    for stage, st in planner.stats.items():
+        stats.add_row([stage, st.computed, st.memory_hits])
+    print(stats)
+    print("\npartition/vip/reorder ran once; each alpha only re-selected "
+          "its cache.\n")
+
+    # --- 3. On-disk artifacts: a cold process skips preprocessing. -------
+    with tempfile.TemporaryDirectory() as cache_dir:
+        warm_source = Planner(ArtifactCache(cache_dir))
+        warm_source.build(dataset, base)          # populates the directory
+
+        rebuilt = Planner(ArtifactCache(cache_dir))   # fresh planner: no memory
+        system = rebuilt.build(dataset, base)
+        recomputed = sum(rebuilt.stats[s].computed for s in PREPROCESS_STAGES)
+        from_disk = sum(rebuilt.stats[s].disk_hits for s in PREPROCESS_STAGES)
+        print(f"warm rebuild: {recomputed} preprocessing stages recomputed, "
+              f"{from_disk} loaded from {cache_dir}")
+        print(f"rebuilt system: {system.describe()}")
+
+
+if __name__ == "__main__":
+    main()

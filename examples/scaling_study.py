@@ -9,7 +9,7 @@ Run:  python examples/scaling_study.py
 """
 
 from repro import load_dataset
-from repro.core import RunConfig, Salient, SalientPP, make_partition
+from repro.core import Planner, RunConfig, Salient, SalientPP
 from repro.utils import Table, format_seconds
 
 
@@ -17,6 +17,9 @@ def main():
     dataset = load_dataset("papers-mini", seed=0)
     print(f"dataset: {dataset}\n")
     alpha = 0.32
+    # One planner for the whole sweep: per K, the partition / VIP / reorder
+    # artifacts are computed once and shared by both system variants.
+    planner = Planner()
 
     table = Table(
         ["machines", "SALIENT++ epoch", "SALIENT epoch",
@@ -27,10 +30,9 @@ def main():
     for K in (2, 4, 8, 16):
         cfg = RunConfig(num_machines=K, replication_factor=alpha,
                         gpu_fraction=0.1)
-        partition = make_partition(dataset, cfg.resolve(dataset))
-        spp = SalientPP.build(dataset, cfg, partition=partition)
+        spp = SalientPP.build(dataset, cfg, planner=planner)
         sal = Salient.build(dataset, RunConfig(num_machines=K),
-                            partition=partition)
+                            planner=planner)
         t_spp = spp.mean_epoch_time(epochs=1)
         t_sal = sal.mean_epoch_time(epochs=1)
         base = base or t_spp

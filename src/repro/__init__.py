@@ -28,7 +28,8 @@ __all__ = ["CSRGraph", "GraphDataset", "load_dataset", "__version__"]
 
 def __getattr__(name):
     # Lazy re-exports of the heavier subsystems keep `import repro` cheap.
-    if name in ("RunConfig", "Salient", "SalientPP", "SystemVariant"):
+    if name in ("ArtifactCache", "Plan", "Planner", "RunConfig", "Salient",
+                "SalientPP", "SystemVariant"):
         import repro.core as _core
 
         return getattr(_core, name)

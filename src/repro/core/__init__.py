@@ -1,6 +1,20 @@
-"""SALIENT / SALIENT++ system layer: configuration and end-to-end systems."""
+"""SALIENT / SALIENT++ system layer: configuration, staged preprocessing
+planner, and end-to-end systems."""
 
 from repro.core.config import RunConfig, progressive_variants, table1_alpha
+from repro.core.planner import (
+    ArtifactCache,
+    PREPROCESS_STAGES,
+    Plan,
+    Planner,
+    STAGE_CONFIG_FIELDS,
+    STAGE_ORDER,
+    StageNode,
+    StageStats,
+    dataset_fingerprint,
+    load_artifact,
+    save_artifact,
+)
 from repro.core.system import (
     EpochResult,
     Salient,
@@ -12,6 +26,17 @@ __all__ = [
     "RunConfig",
     "progressive_variants",
     "table1_alpha",
+    "ArtifactCache",
+    "PREPROCESS_STAGES",
+    "Plan",
+    "Planner",
+    "STAGE_CONFIG_FIELDS",
+    "STAGE_ORDER",
+    "StageNode",
+    "StageStats",
+    "dataset_fingerprint",
+    "load_artifact",
+    "save_artifact",
     "EpochResult",
     "Salient",
     "SalientPP",

@@ -6,14 +6,21 @@ partitioned), caching policy and replication factor α, local GPU fraction β,
 VIP reordering, pipeline mode/depth, partitioner, cluster size, and network
 bandwidth.  Table 1's progressive ladder and Figure 4's bars are just four
 configs differing in three flags (see :func:`progressive_variants`).
+
+Configs are validated *early*: :meth:`RunConfig.validate` (called by
+:meth:`RunConfig.resolve`, i.e. at system construction) checks every name
+against the partitioner / cache-policy registries and every numeric knob
+against its legal range, so a typo'd policy fails with the full sorted list
+of valid names instead of deep inside preprocessing stage 4.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.distributed.cluster import ClusterSpec, MachineSpec, NetworkSpec
+from repro.distributed.dynamic_cache import is_dynamic_policy
 from repro.pipeline.simulator import PipelineMode
 
 
@@ -21,8 +28,11 @@ from repro.pipeline.simulator import PipelineMode
 class RunConfig:
     """Configuration of one system variant on one cluster.
 
-    ``fanouts`` / ``batch_size`` / ``hidden_dim`` / ``num_layers`` default to
-    the dataset's Table-3-analog metadata when ``None``.
+    The ``None``-defaulted model hyperparameters — ``fanouts``,
+    ``batch_size``, and ``hidden_dim`` — are filled from the dataset's
+    Table-3-analog metadata by :meth:`resolve`.  There is no ``num_layers``
+    field: the layer count of the GNN (and the sampling depth) is always
+    ``len(fanouts)``.
     """
 
     num_machines: int = 2
@@ -50,7 +60,7 @@ class RunConfig:
     pipeline_depth: int = 10
 
     # Substrate.
-    partitioner: str = "metis"              # "metis" | "random" | "ldg" | "bfs"
+    partitioner: str = "metis"              # see repro.partition.PARTITIONERS
     network_gbps: float = 25.0
     machine_spec: MachineSpec = field(default_factory=MachineSpec)
     seed: int = 0
@@ -62,9 +72,77 @@ class RunConfig:
             network=NetworkSpec().with_bandwidth(self.network_gbps),
         )
 
+    def validate(self) -> "RunConfig":
+        """Fail fast on malformed configs; returns ``self`` for chaining.
+
+        Registry names (``partitioner``, ``cache_policy``) are checked
+        against the live registries, so the error for an unknown name lists
+        every valid (including plugin-registered) alternative, sorted.
+        Numeric knobs are range-checked: α ≥ 0, β ∈ [0, 1], positive
+        intervals and depths.
+        """
+        # Local imports: the registries live in packages that are heavier
+        # than this module and must stay importable without repro.core.
+        from repro.distributed.dynamic_cache import DYNAMIC_CACHE_POLICIES
+        from repro.partition.registry import PARTITIONERS
+        from repro.vip.policies import STATIC_CACHE_POLICIES
+
+        if self.num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
+        PARTITIONERS.get(self.partitioner)  # raises with the sorted valid names
+        if (self.cache_policy not in STATIC_CACHE_POLICIES
+                and self.cache_policy not in DYNAMIC_CACHE_POLICIES):
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                f"static: {STATIC_CACHE_POLICIES.names()}, "
+                f"dynamic: {DYNAMIC_CACHE_POLICIES.names()}"
+            )
+        if self.fanouts is not None:
+            if len(self.fanouts) == 0 or any(f < 1 for f in self.fanouts):
+                raise ValueError(
+                    f"fanouts must be a non-empty tuple of positive ints, "
+                    f"got {self.fanouts!r}"
+                )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.hidden_dim is not None and self.hidden_dim < 1:
+            raise ValueError(f"hidden_dim must be >= 1, got {self.hidden_dim}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.replication_factor < 0:
+            raise ValueError(
+                f"replication_factor (alpha) must be non-negative, "
+                f"got {self.replication_factor}"
+            )
+        if not 0.0 <= self.gpu_fraction <= 1.0:
+            raise ValueError(
+                f"gpu_fraction (beta) must be in [0, 1], got {self.gpu_fraction}"
+            )
+        if self.refresh_interval < 1:
+            raise ValueError(
+                f"refresh_interval must be >= 1 batch, got {self.refresh_interval}"
+            )
+        if self.cache_aging_interval < 0:
+            raise ValueError(
+                f"cache_aging_interval must be non-negative (0 disables "
+                f"aging), got {self.cache_aging_interval}"
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.network_gbps <= 0:
+            raise ValueError(
+                f"network_gbps must be positive, got {self.network_gbps}"
+            )
+        return self
+
     def resolve(self, dataset) -> "RunConfig":
-        """Fill ``None`` hyperparameters from the dataset's default
-        experiment metadata (the Table 3 analog)."""
+        """Fill the ``None`` hyperparameters — ``fanouts``, ``batch_size``,
+        ``hidden_dim`` — from the dataset's default experiment metadata (the
+        Table 3 analog), then :meth:`validate` the result."""
         defaults = dataset.metadata.get("default_experiment", {})
         updates = {}
         if self.fanouts is None:
@@ -73,7 +151,8 @@ class RunConfig:
             updates["batch_size"] = int(defaults.get("batch_size", 64))
         if self.hidden_dim is None:
             updates["hidden_dim"] = int(defaults.get("hidden_dim", 64))
-        return replace(self, **updates) if updates else self
+        cfg = replace(self, **updates) if updates else self
+        return cfg.validate()
 
     def describe(self) -> str:
         if self.full_replication:
@@ -82,6 +161,11 @@ class RunConfig:
             storage = f"partitioned + {self.cache_policy} cache (a={self.replication_factor:g})"
             if self.cache_policy == "vip-refresh":
                 storage += f" every {self.refresh_interval} batches"
+            elif is_dynamic_policy(self.cache_policy):  # replacement family
+                if self.cache_aging_interval > 0:
+                    storage += f", aging every {self.cache_aging_interval} batches"
+                else:
+                    storage += ", no aging"
         else:
             storage = "partitioned"
         return (f"{storage}, pipeline={self.pipeline.value}, K={self.num_machines}, "

@@ -15,70 +15,33 @@ preprocessing + runtime does:
 7. replay those volumes through the discrete-event pipeline simulator to
    obtain epoch times on the configured cluster.
 
+Steps 1–5 are the staged preprocessing DAG executed by
+:class:`~repro.core.planner.Planner`; :meth:`SalientPP.build` is a thin
+wrapper over :meth:`Planner.build`.  Pass a shared planner (or let a
+benchmark harness do it) and every stage unchanged between system variants
+is fetched from the artifact cache instead of recomputed.
+
 :class:`Salient` is the same object built with full feature replication (the
 paper's baseline, Table 1 row 1).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.config import RunConfig
-from repro.distributed.cluster import ClusterSpec
-from repro.distributed.dynamic_cache import (
-    DYNAMIC_CACHE_POLICIES,
-    DynamicCacheSpec,
-    is_dynamic_policy,
-)
+from repro.core.planner import Planner
 from repro.distributed.executor import DistributedTrainer, EpochReport
 from repro.distributed.feature_store import PartitionedFeatureStore
 from repro.graph.datasets import GraphDataset
-from repro.partition.baselines import bfs_partition, ldg_partition, random_partition
 from repro.partition.interface import Partition
-from repro.partition.multilevel import metis_like_partition
-from repro.partition.reorder import ReorderedDataset, reorder_dataset
+from repro.partition.registry import make_partition  # noqa: F401  (re-export)
+from repro.partition.reorder import ReorderedDataset
 from repro.pipeline.costmodel import CostModel, ModelDims
-from repro.pipeline.simulator import PipelineMode, PipelineResult, simulate_epoch
-from repro.utils.rng import derive_seed
-from repro.vip.analytic import partitionwise_vip, vip_for_training_set
-from repro.vip.policies import (
-    CacheContext,
-    OraclePolicy,
-    build_caches,
-    cache_budget,
-    default_policies,
-)
-
-
-def make_partition(dataset: GraphDataset, config: RunConfig) -> Partition:
-    """Partition per the config (METIS-like with the paper's balancing
-    constraints by default)."""
-    K = config.num_machines
-    if K == 1:
-        return Partition(np.zeros(dataset.num_vertices, dtype=np.int64), 1)
-    if config.partitioner == "metis":
-        role = np.zeros((dataset.num_vertices, 4))
-        role[:, 0] = 1.0
-        role[dataset.train_idx, 1] = 1.0
-        role[dataset.val_idx, 2] = 1.0
-        role[dataset.test_idx, 3] = 1.0
-        return metis_like_partition(
-            dataset.graph, K, vertex_weights=role,
-            seed=derive_seed(config.seed, "partition"),
-        )
-    if config.partitioner == "random":
-        return random_partition(dataset.num_vertices, K,
-                                seed=derive_seed(config.seed, "partition"))
-    if config.partitioner == "ldg":
-        return ldg_partition(dataset.graph, K,
-                             seed=derive_seed(config.seed, "partition"))
-    if config.partitioner == "bfs":
-        return bfs_partition(dataset.graph, K,
-                             seed=derive_seed(config.seed, "partition"))
-    raise ValueError(f"unknown partitioner {config.partitioner!r}")
+from repro.pipeline.simulator import PipelineResult, simulate_epoch
 
 
 @dataclass
@@ -100,11 +63,11 @@ class EpochResult:
 class SalientPP:
     """The SALIENT++ system (or its ablations, per the config).
 
-    Use :meth:`build` (which runs the preprocessing pipeline) rather than the
-    constructor.  Heavyweight artifacts (partition, VIP matrix) can be
-    injected to amortize preprocessing across system variants sharing a
-    dataset and machine count — exactly how the benchmark harness reproduces
-    Table 1's ladder.
+    Use :meth:`build` (which runs the preprocessing pipeline through a
+    :class:`~repro.core.planner.Planner`) rather than the constructor.
+    Heavyweight artifacts (partition, VIP matrix) can still be injected to
+    amortize preprocessing across system variants; with a shared planner the
+    same reuse happens automatically via stage fingerprints.
     """
 
     def __init__(
@@ -134,113 +97,19 @@ class SalientPP:
         *,
         partition: Optional[Partition] = None,
         vip_matrix: Optional[np.ndarray] = None,
+        planner: Optional[Planner] = None,
     ) -> "SalientPP":
-        config = config.resolve(dataset)
-        K = config.num_machines
-        if partition is None:
-            partition = make_partition(dataset, config)
-        if partition.num_parts != K:
-            raise ValueError(
-                f"partition has {partition.num_parts} parts, config wants {K}"
-            )
+        """Build the system by executing the preprocessing plan.
 
-        # Dynamic caches warm-start from the analytic-VIP selection, so they
-        # need the VIP matrix just like the static "vip" policy does.
-        dynamic = is_dynamic_policy(config.cache_policy)
-        needs_vip = config.vip_reorder or (
-            config.replication_factor > 0
-            and (config.cache_policy == "vip" or dynamic)
-        )
-        if vip_matrix is None and needs_vip:
-            vip_matrix = partitionwise_vip(
-                dataset.graph, partition, dataset.train_idx,
-                config.fanouts, config.batch_size,
-            )
-
-        # §4.1: partition-contiguous order, VIP-descending within partitions.
-        score = None
-        if config.vip_reorder and vip_matrix is not None:
-            score = np.zeros(dataset.num_vertices)
-            for k in range(K):
-                mask = partition.assignment == k
-                score[mask] = vip_matrix[k][mask]
-        reordered = reorder_dataset(dataset, partition, within_part_score=score)
-
-        # §4.2: remote-feature caches (ids in the *new* vertex numbering).
-        caches = None
-        dynamic_spec = None
-        if config.replication_factor > 0 and not config.full_replication:
-            ctx = CacheContext(
-                graph=reordered.dataset.graph,
-                partition=reordered.partition,
-                train_idx=reordered.dataset.train_idx,
-                fanouts=config.fanouts,
-                batch_size=config.batch_size,
-                seed=derive_seed(config.seed, "cache"),
-            )
-            if (config.cache_policy == "vip" or dynamic) and vip_matrix is not None:
-                # Reuse the already-computed VIP matrix (relabel to new ids).
-                vip_new = vip_matrix[:, reordered.old_of_new]
-                policy = OraclePolicy(vip_new)  # ranking by injected scores
-                policy.name = "vip"
-            else:
-                registry = default_policies()
-                if config.cache_policy not in registry:
-                    raise ValueError(
-                        f"unknown cache policy {config.cache_policy!r}; static: "
-                        f"{sorted(registry)}, dynamic: {list(DYNAMIC_CACHE_POLICIES)}"
-                    )
-                policy = registry[config.cache_policy]()
-            caches = build_caches(policy, ctx, config.replication_factor)
-            if dynamic:
-                # The VIP selection above is only the warm start; contents
-                # evolve at runtime under the configured policy.
-                dynamic_spec = DynamicCacheSpec(
-                    policy=config.cache_policy,
-                    capacity=cache_budget(
-                        dataset.num_vertices, K, config.replication_factor
-                    ),
-                    refresh_interval=config.refresh_interval,
-                    aging_interval=config.cache_aging_interval,
-                    warm_scores=vip_new if vip_matrix is not None else None,
-                )
-
-        if config.full_replication:
-            store = PartitionedFeatureStore.build_replicated(
-                reordered, gpu_fraction=config.gpu_fraction,
-            )
-        else:
-            store = PartitionedFeatureStore.build(
-                reordered, gpu_fraction=config.gpu_fraction, caches=caches,
-                dynamic=dynamic_spec,
-            )
-
-        trainer = DistributedTrainer(
-            reordered, store,
-            fanouts=config.fanouts,
-            batch_size=config.batch_size,
-            hidden_dim=config.hidden_dim,
-            arch=config.arch,
-            dropout=config.dropout,
-            lr=config.lr,
-            seed=derive_seed(config.seed, "trainer"),
-        )
-        if config.cache_policy == "vip-refresh" and dynamic_spec is not None:
-            # Refreshes re-run Proposition 1 against the machine's *current*
-            # training set (it may have drifted via update_training_set), so
-            # the cache tracks the workload instead of the build-time one.
-            graph = reordered.dataset.graph
-
-            def refresh_scores(machine: int) -> np.ndarray:
-                return vip_for_training_set(
-                    graph, trainer.local_train[machine],
-                    config.fanouts, config.batch_size,
-                ).access
-
-            store.set_refresh_score_provider(refresh_scores)
-        dims = ModelDims(dataset.feature_dim, config.hidden_dim, dataset.num_classes)
-        cost_model = cls._cost_model_for(config, store, dims, trainer)
-        return cls(dataset, config, reordered, store, trainer, cost_model, vip_matrix)
+        Without ``planner`` a fresh one (in-memory cache only) is used, so a
+        single build behaves exactly as before; a shared planner reuses
+        every stage whose fingerprint matches a previous build.  Injected
+        ``partition`` / ``vip_matrix`` are content-addressed by the planner.
+        """
+        if planner is None:
+            planner = Planner()
+        return planner.build(dataset, config, partition=partition,
+                             vip_matrix=vip_matrix, system_cls=cls)
 
     @staticmethod
     def _cost_model_for(config: RunConfig, store: PartitionedFeatureStore,

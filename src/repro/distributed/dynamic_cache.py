@@ -43,8 +43,13 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-#: Names accepted as dynamic cache policies (``RunConfig.cache_policy``).
-DYNAMIC_CACHE_POLICIES: Tuple[str, ...] = ("lru", "lfu", "clock", "vip-refresh")
+from repro.utils.registry import Registry
+
+#: Dynamic cache policy registry (``RunConfig.cache_policy``): each entry is
+#: a factory building the :class:`DynamicCacheSpec` for that policy name.
+#: Shares the decorator registration API with ``PARTITIONERS`` and the static
+#: policy zoo; membership tests and iteration see the registered names.
+DYNAMIC_CACHE_POLICIES = Registry("dynamic cache policy")
 
 
 def is_dynamic_policy(name: str) -> bool:
@@ -114,7 +119,7 @@ class DynamicCacheSpec:
         if self.policy not in DYNAMIC_CACHE_POLICIES:
             raise ValueError(
                 f"unknown dynamic cache policy {self.policy!r}; "
-                f"expected one of {DYNAMIC_CACHE_POLICIES}"
+                f"expected one of {DYNAMIC_CACHE_POLICIES.names()}"
             )
         if self.capacity is not None and self.capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {self.capacity}")
@@ -134,6 +139,21 @@ class DynamicCacheSpec:
     @property
     def admit_on_miss(self) -> bool:
         return self.policy != "vip-refresh"
+
+
+def _spec_factory(policy_name: str) -> Callable[..., "DynamicCacheSpec"]:
+    def factory(**kwargs) -> DynamicCacheSpec:
+        return DynamicCacheSpec(policy=policy_name, **kwargs)
+
+    factory.__name__ = f"make_{policy_name.replace('-', '_')}_spec"
+    factory.__doc__ = (f"Build a :class:`DynamicCacheSpec` for the "
+                       f"{policy_name!r} policy (kwargs pass through).")
+    return factory
+
+
+for _name in ("lru", "lfu", "clock", "vip-refresh"):
+    DYNAMIC_CACHE_POLICIES.register(_name, _spec_factory(_name))
+del _name
 
 
 @dataclass

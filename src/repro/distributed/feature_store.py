@@ -209,6 +209,9 @@ class PartitionedFeatureStore:
         self.reordered = reordered
         self.feature_dim = feature_dim
         self.itemsize = itemsize
+        #: Build-time per-machine cache id arrays (new vertex numbering) —
+        #: the serializable artifact a warm rebuild needs; set by build().
+        self.build_cache_selection: Optional[List[np.ndarray]] = None
         self._refresh_score_fn: Optional[Callable[[int], np.ndarray]] = None
 
     # ------------------------------------------------------------------
@@ -265,7 +268,11 @@ class PartitionedFeatureStore:
                 num_vertices=ds.num_vertices,
                 dynamic=dynamic,
             ))
-        return cls(stores, reordered, ds.feature_dim, ds.features.itemsize)
+        store = cls(stores, reordered, ds.feature_dim, ds.features.itemsize)
+        store.build_cache_selection = [
+            np.asarray(c, dtype=np.int64).copy() for c in caches
+        ]
+        return store
 
     @classmethod
     def build_replicated(
@@ -314,6 +321,19 @@ class PartitionedFeatureStore:
     @property
     def bytes_per_row(self) -> int:
         return self.feature_dim * self.itemsize
+
+    def cache_selection(self) -> List[np.ndarray]:
+        """Current per-machine cached remote ids (new vertex numbering).
+
+        For static caches this equals :attr:`build_cache_selection`; for
+        dynamic caches it is the live contents.  Either way the arrays are
+        plain ``int64`` ids — directly serializable with
+        :func:`repro.core.planner.save_artifact` (kind ``"cache-select"``)
+        and accepted back by :meth:`build` as ``caches=`` to reproduce the
+        same warm-start state.
+        """
+        return [np.asarray(s.cache_ids, dtype=np.int64).copy()
+                for s in self.stores]
 
     def set_refresh_score_provider(
         self, fn: Optional[Callable[[int], np.ndarray]]

@@ -15,9 +15,12 @@ from repro.partition.baselines import (
     ldg_partition,
     random_partition,
 )
-from repro.partition.reorder import ReorderedDataset, reorder_dataset
+from repro.partition.registry import PARTITIONERS, make_partition
+from repro.partition.reorder import ReorderedDataset, apply_reorder, reorder_dataset
 
 __all__ = [
+    "PARTITIONERS",
+    "make_partition",
     "Partition",
     "PartitionReport",
     "balance",
@@ -29,5 +32,6 @@ __all__ = [
     "ldg_partition",
     "random_partition",
     "ReorderedDataset",
+    "apply_reorder",
     "reorder_dataset",
 ]

@@ -1,0 +1,77 @@
+"""The ``PARTITIONERS`` registry: named ``(dataset, config) -> Partition``.
+
+Replaces the old if-chain in ``repro.core.system.make_partition`` with the
+same decorator-based registration API used by the static and dynamic cache
+policy zoos (see :mod:`repro.utils.registry`).  Each entry takes the dataset
+and the (resolved) :class:`~repro.core.config.RunConfig` and returns a
+:class:`~repro.partition.interface.Partition` with ``config.num_machines``
+parts; new partitioners plug in with one decorator and are immediately
+accepted by ``RunConfig.validate`` and the preprocessing planner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.baselines import (
+    bfs_partition,
+    hash_partition,
+    ldg_partition,
+    random_partition,
+)
+from repro.partition.interface import Partition
+from repro.partition.multilevel import metis_like_partition
+from repro.utils.registry import Registry
+from repro.utils.rng import derive_seed
+
+#: Named graph partitioners (``RunConfig.partitioner``).
+PARTITIONERS = Registry("partitioner")
+
+
+@PARTITIONERS.register("metis")
+def _metis(dataset, config) -> Partition:
+    """METIS-like multilevel cut with the paper's multi-constraint balancing
+    on overall/train/val/test vertex counts (§4.1)."""
+    role = np.zeros((dataset.num_vertices, 4))
+    role[:, 0] = 1.0
+    role[dataset.train_idx, 1] = 1.0
+    role[dataset.val_idx, 2] = 1.0
+    role[dataset.test_idx, 3] = 1.0
+    return metis_like_partition(
+        dataset.graph, config.num_machines, vertex_weights=role,
+        seed=derive_seed(config.seed, "partition"),
+    )
+
+
+@PARTITIONERS.register("random")
+def _random(dataset, config) -> Partition:
+    return random_partition(dataset.num_vertices, config.num_machines,
+                            seed=derive_seed(config.seed, "partition"))
+
+
+@PARTITIONERS.register("ldg")
+def _ldg(dataset, config) -> Partition:
+    return ldg_partition(dataset.graph, config.num_machines,
+                         seed=derive_seed(config.seed, "partition"))
+
+
+@PARTITIONERS.register("bfs")
+def _bfs(dataset, config) -> Partition:
+    return bfs_partition(dataset.graph, config.num_machines,
+                         seed=derive_seed(config.seed, "partition"))
+
+
+@PARTITIONERS.register("hash")
+def _hash(dataset, config) -> Partition:
+    return hash_partition(dataset.num_vertices, config.num_machines)
+
+
+def make_partition(dataset, config) -> Partition:
+    """Partition per the config, dispatching through :data:`PARTITIONERS`.
+
+    A single machine short-circuits to the trivial one-part partition
+    regardless of the configured partitioner.
+    """
+    if config.num_machines == 1:
+        return Partition(np.zeros(dataset.num_vertices, dtype=np.int64), 1)
+    return PARTITIONERS.get(config.partitioner)(dataset, config)

@@ -107,7 +107,32 @@ def reorder_dataset(
         order = np.lexsort((np.arange(n), partition.assignment))
     else:
         order = np.lexsort((-within_part_score, partition.assignment))
-    order = order.astype(np.int64)
+    return apply_reorder(dataset, partition, order)
+
+
+def apply_reorder(
+    dataset: GraphDataset,
+    partition: Partition,
+    order: np.ndarray,
+) -> ReorderedDataset:
+    """Relabel ``dataset`` with a precomputed ``order`` (old ids, new-id
+    position ascending — i.e. the ``old_of_new`` map).
+
+    This is the deterministic second half of :func:`reorder_dataset`, split
+    out so a serialized reorder map can rebuild the identical
+    :class:`ReorderedDataset` without recomputing partition or VIP scores
+    (the planner's artifact-cache path).  ``order`` must list every vertex
+    exactly once and be partition-major with respect to ``partition``.
+    """
+    n = dataset.num_vertices
+    order = np.asarray(order, dtype=np.int64)
+    if order.shape != (n,):
+        raise ValueError(f"order must have shape ({n},), got {order.shape}")
+    if n and (order.min() < 0 or order.max() >= n
+              or np.bincount(order, minlength=n).max() != 1):
+        raise ValueError("order must be a permutation of [0, num_vertices)")
+    if np.any(np.diff(partition.assignment[order]) < 0):
+        raise ValueError("order must be partition-major for the given partition")
     new_of_old = permutation_from_order(order)
 
     sizes = np.bincount(partition.assignment, minlength=partition.num_parts)

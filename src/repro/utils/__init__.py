@@ -5,6 +5,7 @@ reproducible randomness (every stochastic component takes an explicit seed or
 :class:`numpy.random.Generator`) and consistent experiment reporting.
 """
 
+from repro.utils.registry import Registry
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
 from repro.utils.tables import Table, format_bytes, format_seconds, format_count
 from repro.utils.validation import (
@@ -15,6 +16,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "Registry",
     "as_generator",
     "spawn_generators",
     "derive_seed",

@@ -29,6 +29,7 @@ from repro.vip.policies import (
     NoCachePolicy,
     NumPathsPolicy,
     OraclePolicy,
+    STATIC_CACHE_POLICIES,
     SimulationPolicy,
     VIPAnalyticPolicy,
     WeightedReversePageRankPolicy,
@@ -64,6 +65,7 @@ __all__ = [
     "NoCachePolicy",
     "NumPathsPolicy",
     "OraclePolicy",
+    "STATIC_CACHE_POLICIES",
     "SimulationPolicy",
     "VIPAnalyticPolicy",
     "WeightedReversePageRankPolicy",

@@ -57,9 +57,16 @@ from repro.distributed.dynamic_cache import (
 )
 from repro.graph.csr import CSRGraph
 from repro.partition.interface import Partition
+from repro.utils.registry import Registry
 from repro.utils.rng import SeedLike, derive_seed
 from repro.vip.analytic import vip_for_training_set
 from repro.vip.empirical import simulate_access_counts
+
+#: Static cache-policy registry (``RunConfig.cache_policy``): each entry is a
+#: zero-argument factory for a :class:`CachePolicy`.  Shares the decorator
+#: registration API with ``PARTITIONERS`` and ``DYNAMIC_CACHE_POLICIES``;
+#: the oracle policy is deliberately absent (it needs the evaluation trace).
+STATIC_CACHE_POLICIES = Registry("static cache policy")
 
 
 @dataclass
@@ -119,6 +126,7 @@ class CachePolicy:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+@STATIC_CACHE_POLICIES.register("none")
 class NoCachePolicy(CachePolicy):
     """Upper bound: cache nothing."""
 
@@ -149,6 +157,7 @@ def _reachable_within(graph: CSRGraph, sources: np.ndarray, hops: int) -> np.nda
     return mask
 
 
+@STATIC_CACHE_POLICIES.register("degree")
 class DegreePolicy(CachePolicy):
     """Degree ranking over remote vertices reachable from the local training
     set within L hops (Lin et al., 2020)."""
@@ -161,6 +170,7 @@ class DegreePolicy(CachePolicy):
         return np.where(reach, deg + 1.0, 0.0)
 
 
+@STATIC_CACHE_POLICIES.register("halo")
 class HaloPolicy(CachePolicy):
     """The partition's 1-hop halo, ranked by degree within the halo."""
 
@@ -175,6 +185,7 @@ class HaloPolicy(CachePolicy):
         return np.where(halo, 1.0 + deg / (maxdeg + 1.0), 0.0)
 
 
+@STATIC_CACHE_POLICIES.register("wpr")
 class WeightedReversePageRankPolicy(CachePolicy):
     """Weighted reverse PageRank from the local training set (Min et al.).
 
@@ -206,6 +217,7 @@ class WeightedReversePageRankPolicy(CachePolicy):
         return r
 
 
+@STATIC_CACHE_POLICIES.register("numpaths")
 class NumPathsPolicy(CachePolicy):
     """Number of paths of length ≤ L from the local training set: structural
     expansion without any model of sampling."""
@@ -225,6 +237,7 @@ class NumPathsPolicy(CachePolicy):
         return total
 
 
+@STATIC_CACHE_POLICIES.register("sim")
 class SimulationPolicy(CachePolicy):
     """Empirical VIP: access counts over a few simulated epochs (Yang et al.).
 
@@ -248,6 +261,7 @@ class SimulationPolicy(CachePolicy):
         ).astype(np.float64)
 
 
+@STATIC_CACHE_POLICIES.register("vip")
 class VIPAnalyticPolicy(CachePolicy):
     """The paper's policy: analytic VIP values per Proposition 1."""
 
@@ -279,26 +293,16 @@ class OraclePolicy(CachePolicy):
 
 def default_policies() -> Dict[str, Callable[[], CachePolicy]]:
     """Factories for the Figure 2 policy zoo (oracle excluded: it needs the
-    evaluation trace)."""
-    return {
-        "none": NoCachePolicy,
-        "degree": DegreePolicy,
-        "halo": HaloPolicy,
-        "wpr": WeightedReversePageRankPolicy,
-        "numpaths": NumPathsPolicy,
-        "sim": SimulationPolicy,
-        "vip": VIPAnalyticPolicy,
-    }
+    evaluation trace) — a dict view over :data:`STATIC_CACHE_POLICIES`."""
+    return dict(STATIC_CACHE_POLICIES.items())
 
 
 def dynamic_cache_policies() -> Dict[str, Callable[..., DynamicCacheSpec]]:
     """Factories for the dynamic side of the zoo: each returns a
     :class:`DynamicCacheSpec` (pass ``capacity`` / ``refresh_interval`` /
-    ``warm_scores`` through as keyword arguments)."""
-    return {
-        name: (lambda name=name, **kw: DynamicCacheSpec(policy=name, **kw))
-        for name in DYNAMIC_CACHE_POLICIES
-    }
+    ``warm_scores`` through as keyword arguments) — a dict view over
+    :data:`DYNAMIC_CACHE_POLICIES`."""
+    return dict(DYNAMIC_CACHE_POLICIES.items())
 
 
 def cache_budget(num_vertices: int, num_parts: int, alpha: float) -> int:

@@ -1,5 +1,7 @@
 """RunConfig and progressive-ladder tests."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core import RunConfig, progressive_variants, table1_alpha
@@ -28,6 +30,73 @@ class TestRunConfig:
         cfg = RunConfig(num_machines=2, replication_factor=0.16)
         assert "vip" in cfg.describe()
         assert "K=2" in cfg.describe()
+
+    def test_describe_vip_refresh_interval(self):
+        cfg = RunConfig(replication_factor=0.1, cache_policy="vip-refresh",
+                        refresh_interval=25)
+        assert "every 25 batches" in cfg.describe()
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "clock"])
+    def test_describe_replacement_aging_interval(self, policy):
+        cfg = RunConfig(replication_factor=0.1, cache_policy=policy,
+                        cache_aging_interval=32)
+        assert "aging every 32 batches" in cfg.describe()
+        cfg = RunConfig(replication_factor=0.1, cache_policy=policy,
+                        cache_aging_interval=0)
+        assert "no aging" in cfg.describe()
+
+
+class TestValidate:
+    def test_unknown_partitioner_lists_sorted_names(self):
+        from repro.partition import PARTITIONERS
+
+        with pytest.raises(ValueError) as exc:
+            RunConfig(partitioner="spectral").validate()
+        msg = str(exc.value)
+        assert "unknown partitioner 'spectral'" in msg
+        names = sorted(PARTITIONERS.names())
+        assert str(names) in msg  # full sorted list, verbatim
+        for n in ("metis", "random", "ldg", "bfs", "hash"):
+            assert n in msg
+
+    def test_unknown_cache_policy_lists_both_registries(self):
+        from repro.distributed.dynamic_cache import DYNAMIC_CACHE_POLICIES
+        from repro.vip import STATIC_CACHE_POLICIES
+
+        with pytest.raises(ValueError) as exc:
+            RunConfig(cache_policy="belady").validate()
+        msg = str(exc.value)
+        assert "unknown cache policy 'belady'" in msg
+        assert str(sorted(STATIC_CACHE_POLICIES.names())) in msg
+        assert str(sorted(DYNAMIC_CACHE_POLICIES.names())) in msg
+
+    def test_resolve_validates(self, tiny_dataset):
+        """Bad configs fail at construction, not deep inside a stage."""
+        with pytest.raises(ValueError, match="cache policy"):
+            RunConfig(cache_policy="belady").resolve(tiny_dataset)
+
+    def test_validate_returns_self(self):
+        cfg = RunConfig()
+        assert cfg.validate() is cfg
+
+    @pytest.mark.parametrize("bad", [
+        dict(num_machines=0),
+        dict(fanouts=()),
+        dict(fanouts=(4, 0)),
+        dict(batch_size=0),
+        dict(hidden_dim=0),
+        dict(dropout=1.0),
+        dict(lr=0.0),
+        dict(replication_factor=-0.1),
+        dict(gpu_fraction=1.5),
+        dict(refresh_interval=0),
+        dict(cache_aging_interval=-1),
+        dict(pipeline_depth=0),
+        dict(network_gbps=0.0),
+    ])
+    def test_out_of_range_fields_raise(self, bad):
+        with pytest.raises(ValueError):
+            replace(RunConfig(), **bad).validate()
 
 
 class TestLadder:
