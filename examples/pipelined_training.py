@@ -1,0 +1,89 @@
+"""Functional pipelined training: coalesced in-flight fetches (§4.3).
+
+Runs the same workload under all three execution engines:
+
+* ``bsp``        — the paper's lock-step loop (one batch in flight);
+* ``pipelined``  — depth-P in-flight minibatches per machine whose fetch
+                   plans are coalesced, so a remote row needed by several
+                   in-flight batches crosses the wire exactly once;
+* ``async``      — bounded-staleness: replicas apply local gradients
+                   immediately and re-converge every ``staleness+1`` steps.
+
+``bsp`` and ``pipelined`` train *identically* (bit-equal losses) — the
+pipeline changes where bytes travel, never what the model computes — while
+the coalesced fetches cut real communication and the emitted event schedule
+simulates faster.  ``async`` trades gradient freshness for fewer barriers.
+
+Run:  python examples/pipelined_training.py
+"""
+
+from repro.core import RunConfig, SalientPP
+from repro.graph.datasets import make_synthetic_dataset
+from repro.utils import Table, format_bytes
+
+K = 4
+DEPTH = 8
+EPOCHS = 4
+
+
+def build(dataset, engine, **overrides):
+    config = RunConfig(
+        num_machines=K,
+        fanouts=(5, 4),
+        batch_size=32,
+        hidden_dim=32,
+        replication_factor=0.1,
+        partitioner="random",   # hash layout: remote-heavy, comm-dominated
+        lr=0.01,
+        engine=engine,
+        pipeline_depth=DEPTH,
+        **overrides,
+    )
+    return SalientPP.build(dataset, config)
+
+
+def main():
+    dataset = make_synthetic_dataset(
+        "pipeline-demo", num_vertices=12_000, avg_degree=10.0,
+        feature_dim=32, num_classes=8, num_communities=16,
+        intra_fraction=0.9, power=2.5, train_frac=0.4, seed=1,
+    )
+    print(f"dataset: {dataset}")
+
+    systems = {
+        "bsp": build(dataset, "bsp"),
+        f"pipelined (depth {DEPTH})": build(dataset, "pipelined"),
+        "async (staleness 3)": build(dataset, "async", staleness=3),
+    }
+
+    table = Table(["engine", "final loss", "remote rows", "coalesced rows",
+                   "feature bytes", "epoch time"])
+    baseline = None
+    for name, system in systems.items():
+        results = system.train(EPOCHS)
+        last = results[-1]
+        remote = sum(r.report.total_remote_rows() for r in results)
+        coalesced = sum(r.report.total_coalesced_rows() for r in results)
+        nbytes = sum(r.report.ledger.total_feature_bytes() for r in results)
+        epoch_ms = 1000 * sum(r.epoch_time for r in results) / EPOCHS
+        if baseline is None:
+            baseline = (last.loss, nbytes, epoch_ms)
+        table.add_row([
+            name, f"{last.loss:.6f}", remote, coalesced,
+            format_bytes(nbytes), f"{epoch_ms:.2f} ms",
+        ])
+    print()
+    print(table)
+
+    pipe_name = f"pipelined (depth {DEPTH})"
+    pipe_loss = systems[pipe_name].train_epoch(EPOCHS).report.mean_loss
+    print(f"\nbsp and pipelined losses are bit-identical; depth-{DEPTH} "
+          f"coalescing removed duplicate remote fetches across in-flight "
+          f"batches (epoch {EPOCHS} loss continues at {pipe_loss:.6f}).")
+    print("async thins the allreduce barriers instead: same data volumes, "
+          "fewer synchronization points, slightly different (stale) "
+          "gradients.")
+
+
+if __name__ == "__main__":
+    main()

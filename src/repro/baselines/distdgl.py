@@ -84,6 +84,28 @@ class DistDGLCostModel(CostModel):
             train=base.train,
         )
 
+    def event_duration(self, ev) -> float:
+        """Event-path pricing with the same deratings as :meth:`stage_times`
+        (the engine-emitted trace must cost the same as the record replay)."""
+        from repro.pipeline.events import Stage
+
+        base = super().event_duration(ev)
+        m = self.cluster.machine
+        net = self.cluster.network
+        p = self.params
+        if ev.stage is Stage.SAMPLE:
+            return (ev.volume("candidate_edges")
+                    / (m.sample_rate * p.sampler_derate)
+                    + m.overhead_per_batch + p.per_batch_overhead)
+        if ev.stage in (Stage.LOCAL_SLICE, Stage.SERVE_SLICE):
+            return base / p.kvstore_derate
+        if ev.stage is Stage.REQUEST_EXCHANGE:
+            remote_edges = ev.volume("mfg_edges") * self.remote_frontier_fraction
+            rpc = (2 * self.num_hops * net.latency
+                   + remote_edges * p.bytes_per_remote_edge / net.bandwidth)
+            return base + rpc
+        return base
+
 
 class DistDGL(SalientPP):
     """DistDGL-like system: build like SALIENT++ but with no cache, no

@@ -55,7 +55,16 @@ class RunConfig:
     refresh_interval: int = 50
     cache_aging_interval: int = 64
 
-    # Pipeline (§4.3).
+    # Execution engine (§4.3 made functional): how the epoch actually runs.
+    # "bsp" = lock-step (the paper's loop); "pipelined" = pipeline_depth
+    # in-flight batches per machine with coalesced (deduplicated) remote
+    # fetches; "async" = bounded-staleness local applies with parameter
+    # re-convergence every `staleness + 1` steps.
+    engine: str = "bsp"
+    staleness: int = 0
+
+    # Pipeline (§4.3): simulated overlap mode, and the in-flight depth used
+    # both by the simulator's gating and by the "pipelined" engine.
     pipeline: PipelineMode = PipelineMode.FULL
     pipeline_depth: int = 10
 
@@ -84,12 +93,25 @@ class RunConfig:
         # Local imports: the registries live in packages that are heavier
         # than this module and must stay importable without repro.core.
         from repro.distributed.dynamic_cache import DYNAMIC_CACHE_POLICIES
+        from repro.distributed.engine import ENGINES
         from repro.partition.registry import PARTITIONERS
         from repro.vip.policies import STATIC_CACHE_POLICIES
 
         if self.num_machines < 1:
             raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
         PARTITIONERS.get(self.partitioner)  # raises with the sorted valid names
+        ENGINES.get(self.engine)            # ditto (execution engine names)
+        if self.staleness < 0:
+            raise ValueError(
+                f"staleness must be non-negative, got {self.staleness}"
+            )
+        if self.engine == "pipelined" and self.pipeline is not PipelineMode.FULL:
+            raise ValueError(
+                "the pipelined engine is the functional §4.3 pipeline; "
+                "simulating it serialized is contradictory — use "
+                "pipeline=PipelineMode.FULL (or engine='bsp' for the "
+                "OFF/BLOCKING_COMM ablations)"
+            )
         if (self.cache_policy not in STATIC_CACHE_POLICIES
                 and self.cache_policy not in DYNAMIC_CACHE_POLICIES):
             raise ValueError(
@@ -168,8 +190,13 @@ class RunConfig:
                     storage += ", no aging"
         else:
             storage = "partitioned"
-        return (f"{storage}, pipeline={self.pipeline.value}, K={self.num_machines}, "
-                f"net={self.network_gbps:g}Gbps")
+        engine = self.engine
+        if engine == "pipelined":
+            engine += f"(depth={self.pipeline_depth})"
+        elif engine == "async":
+            engine += f"(staleness={self.staleness})"
+        return (f"{storage}, engine={engine}, pipeline={self.pipeline.value}, "
+                f"K={self.num_machines}, net={self.network_gbps:g}Gbps")
 
 
 def progressive_variants(num_machines: int,

@@ -82,7 +82,7 @@ STAGE_CONFIG_FIELDS: Dict[str, Tuple[str, ...]] = {
     "store": ("gpu_fraction", "full_replication", "cache_policy",
               "refresh_interval", "cache_aging_interval"),
     "trainer": ("hidden_dim", "arch", "dropout", "lr", "fanouts",
-                "batch_size", "seed"),
+                "batch_size", "seed", "engine", "pipeline_depth", "staleness"),
 }
 
 _SCHEMA_VERSION = 1
@@ -670,6 +670,9 @@ class Planner:
             dropout=config.dropout,
             lr=config.lr,
             seed=derive_seed(config.seed, "trainer"),
+            engine=config.engine,
+            pipeline_depth=config.pipeline_depth,
+            staleness=config.staleness,
         )
         self.stats["trainer"].computed += 1
         if config.cache_policy == "vip-refresh" and dynamic_spec is not None:

@@ -6,8 +6,18 @@ from repro.distributed.cluster import GBPS, ClusterSpec, MachineSpec, NetworkSpe
 from repro.distributed.comm import (
     CommLedger,
     all_reduce_gradients,
+    average_parameters,
     broadcast_state,
     gradient_nbytes,
+)
+from repro.distributed.engine import (
+    ENGINES,
+    AsyncEngine,
+    BSPEngine,
+    ExecutionEngine,
+    PipelinedEngine,
+    PrefetchIterator,
+    make_engine,
 )
 from repro.distributed.dynamic_cache import (
     DYNAMIC_CACHE_POLICIES,
@@ -17,6 +27,8 @@ from repro.distributed.dynamic_cache import (
     is_dynamic_policy,
 )
 from repro.distributed.feature_store import (
+    CoalescedFetchPlan,
+    FetchPlan,
     GatherStats,
     MachineStore,
     PartitionedFeatureStore,
@@ -31,13 +43,23 @@ __all__ = [
     "NetworkSpec",
     "CommLedger",
     "all_reduce_gradients",
+    "average_parameters",
     "broadcast_state",
     "gradient_nbytes",
+    "ENGINES",
+    "AsyncEngine",
+    "BSPEngine",
+    "ExecutionEngine",
+    "PipelinedEngine",
+    "PrefetchIterator",
+    "make_engine",
     "DYNAMIC_CACHE_POLICIES",
     "CacheChurnStats",
     "DynamicCache",
     "DynamicCacheSpec",
     "is_dynamic_policy",
+    "CoalescedFetchPlan",
+    "FetchPlan",
     "GatherStats",
     "MachineStore",
     "PartitionedFeatureStore",

@@ -106,6 +106,43 @@ def all_reduce_gradients(
         ledger.record_all_reduce(2.0 * (k - 1) / k * nbytes)
 
 
+def average_parameters(
+    models: List[Module],
+    ledger: Optional[CommLedger] = None,
+) -> None:
+    """Average model *parameters* (not gradients) across replicas, in place.
+
+    The synchronization point of the bounded-staleness ``async`` execution
+    engine: replicas apply their local gradients immediately and re-converge
+    by parameter averaging every ``staleness + 1`` steps.  The wire cost is
+    the same ring all-reduce as a gradient reduction (parameters and
+    gradients have identical shapes), which the ledger records.
+    """
+    if not models:
+        raise ValueError("no models to average")
+    k = len(models)
+    named = [dict(m.named_parameters()) for m in models]
+    keys = list(named[0].keys())
+    for nd in named[1:]:
+        if list(nd.keys()) != keys or any(
+            nd[k2].data.shape != named[0][k2].data.shape for k2 in keys
+        ):
+            raise ValueError("model replicas have mismatched parameters")
+
+    for key in keys:
+        params = [nd[key] for nd in named]
+        avg = params[0].data.copy()
+        for p in params[1:]:
+            avg += p.data
+        avg /= k
+        for p in params:
+            p.data[...] = avg
+
+    if ledger is not None and k > 1:
+        nbytes = gradient_nbytes(models[0])
+        ledger.record_all_reduce(2.0 * (k - 1) / k * nbytes)
+
+
 def broadcast_state(models: List[Module], source: int = 0) -> None:
     """Copy machine ``source``'s weights to all replicas (training start)."""
     state = models[source].state_dict()

@@ -1,0 +1,451 @@
+"""Pluggable execution engines: how one functional epoch actually runs.
+
+The trainer used to hard-code one schedule — a strictly lock-step double
+loop (sample, gather, train, all-reduce, next step).  This module makes the
+schedule a first-class, registered strategy over the plan/execute gather
+split of :class:`~repro.distributed.feature_store.PartitionedFeatureStore`:
+
+``bsp``
+    Bulk-synchronous parallel — the paper's (and the seed trainer's)
+    semantics, byte-for-byte: one batch in flight per machine, a gradient
+    all-reduce closing every step.
+
+``pipelined``
+    §4.3 made *functional* instead of merely simulated: each machine keeps
+    up to ``depth`` minibatches in flight, drawn ahead through a shared
+    prefetch iterator over :meth:`NeighborSampler.batches`.  The in-flight
+    batches' :class:`FetchPlan`\\ s are coalesced — remote vertex ids
+    needed by several of them are fetched from peers exactly once — so
+    deep pipelines reduce real communication, not just hide it.  Training
+    math is step-for-step identical to ``bsp`` (same sample streams, same
+    per-step all-reduce), so losses match bit-for-bit while comm shrinks.
+
+``async``
+    Bounded-staleness data parallelism: replicas apply their own gradients
+    immediately and re-converge by parameter averaging every
+    ``staleness + 1`` steps, trading gradient freshness for fewer
+    synchronization barriers (the allreduce events thin out accordingly).
+
+Every engine emits the :class:`~repro.pipeline.events.EventTrace` of the
+schedule it actually executed; the discrete-event simulator prices that
+trace directly instead of re-deriving a hypothetical schedule from step
+records.  Register new engines with ``@ENGINES.register(name)`` — the name
+immediately becomes valid for ``RunConfig.engine``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import (
+    CommLedger,
+    all_reduce_gradients,
+    average_parameters,
+)
+from repro.distributed.feature_store import FetchPlan
+from repro.nn.functional import cross_entropy
+from repro.sampling.mfg import MFG
+from repro.utils.registry import Registry
+from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.distributed.executor import DistributedTrainer, EpochReport
+    from repro.pipeline.events import EventTrace
+
+# NOTE: repro.pipeline modules are imported lazily inside methods.  This
+# module is loaded by ``repro/distributed/__init__``, and the pipeline
+# package's modules import ``repro.distributed.*`` — an eager import here
+# would make ``import repro.pipeline`` (as the first repro import) re-enter
+# a half-initialized module.
+
+#: Execution engine registry (``RunConfig.engine``).  Entries are engine
+#: classes; construct through :func:`make_engine` so per-engine knobs
+#: (pipeline depth, staleness bound) are routed uniformly.
+ENGINES = Registry("execution engine")
+
+
+def make_engine(name: str, trainer: "DistributedTrainer", *,
+                pipeline_depth: int = 10, staleness: int = 0) -> "ExecutionEngine":
+    """Build the named engine for ``trainer``.
+
+    ``pipeline_depth`` configures ``pipelined`` (ignored by others);
+    ``staleness`` configures ``async``.  Unknown names raise with the
+    sorted list of registered engines.
+    """
+    cls = ENGINES.get(name)
+    return cls._build(trainer, pipeline_depth=pipeline_depth,
+                      staleness=staleness)
+
+
+class PrefetchIterator:
+    """Depth-bounded lookahead over one machine's minibatch stream.
+
+    Wraps a :meth:`NeighborSampler.batches` iterator and serves windows of
+    up to ``depth`` consecutive MFGs — the sampler-side half of keeping
+    ``depth`` batches in flight.  Pulling a window advances the underlying
+    sampler RNG exactly as ``depth`` sequential ``next()`` calls would, so
+    any engine consuming the same windows sees the same batches as ``bsp``.
+    """
+
+    def __init__(self, batches: Iterator[MFG], depth: int):
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self._batches = batches
+        self.depth = depth
+
+    def next_window(self, size: Optional[int] = None) -> List[MFG]:
+        """The next ``min(size, depth)`` batches (fewer at stream end)."""
+        want = self.depth if size is None else min(size, self.depth)
+        out: List[MFG] = []
+        for _ in range(want):
+            try:
+                out.append(next(self._batches))
+            except StopIteration:
+                break
+        return out
+
+
+class ExecutionEngine:
+    """Base engine: shared batch-step plumbing over a trainer's state.
+
+    Subclasses implement :meth:`run_epoch` and are registered in
+    :data:`ENGINES`.  The engine owns *scheduling* only — model math,
+    storage, and collectives live in the trainer's components, so all
+    engines train the same model on the same sample streams.
+    """
+
+    name: str = "?"
+
+    def __init__(self, trainer: "DistributedTrainer"):
+        self.trainer = trainer
+
+    @classmethod
+    def _build(cls, trainer: "DistributedTrainer", **_knobs) -> "ExecutionEngine":
+        return cls(trainer)
+
+    # -- shared helpers -------------------------------------------------
+    def _iterators(self, epoch: int) -> List[Iterator[MFG]]:
+        """Per-machine minibatch iterators, seeded exactly as the seed
+        trainer's epoch loop (same shuffle order for every engine)."""
+        tr = self.trainer
+        return [
+            tr.samplers[k].batches(
+                tr.local_train[k], tr.batch_size,
+                drop_last=True, epoch=epoch,
+                seed=derive_seed(tr.seed, "order", k),
+            )
+            for k in range(tr.num_machines)
+        ]
+
+    def _dims_tuple(self):
+        tr = self.trainer
+        return (tr.ds.feature_dim, tr.hidden_dim, tr.ds.num_classes)
+
+    def _record_fetch(self, ledger: CommLedger, machine: int, stats) -> None:
+        tr = self.trainer
+        ledger.record_feature_fetch(machine, stats.remote_per_peer,
+                                    tr.store.bytes_per_row)
+        if stats.refresh_fetch_per_peer is not None:
+            ledger.record_feature_fetch(machine, stats.refresh_fetch_per_peer,
+                                        tr.store.bytes_per_row)
+
+    def _train_batch(self, machine: int, feats: np.ndarray, mfg: MFG) -> float:
+        """Forward/backward one batch on one replica; returns the loss."""
+        tr = self.trainer
+        model = tr.models[machine]
+        model.train()
+        logits = model(feats, mfg)
+        loss = cross_entropy(logits, tr.ds.labels[mfg.seeds])
+        model.zero_grad()
+        loss.backward()
+        return loss.item()
+
+    def _make_record(self, machine: int, step: int, mfg: MFG, stats,
+                     loss: Optional[float]):
+        from repro.distributed.executor import StepRecord, _candidate_edges
+
+        tr = self.trainer
+        return StepRecord(
+            machine=machine,
+            step=step,
+            batch_size=mfg.batch_size,
+            mfg_vertices=mfg.num_vertices,
+            mfg_edges=mfg.num_edges,
+            candidate_edges=_candidate_edges(tr.ds.graph.degrees, mfg),
+            block_sizes=tuple(
+                (b.num_src, b.num_dst, b.num_edges) for b in mfg.blocks
+            ),
+            gather=stats,
+            loss=loss,
+        )
+
+    def _finish_report(self, epoch: int, records, ledger, losses, steps,
+                       churn_before, trace: EventTrace) -> "EpochReport":
+        from repro.distributed.executor import EpochReport
+
+        tr = self.trainer
+        churn = None
+        if churn_before is not None:
+            churn = [after.delta(before) for after, before
+                     in zip(tr.store.cache_churn(), churn_before)]
+        return EpochReport(
+            epoch=epoch,
+            records=records,
+            ledger=ledger,
+            mean_loss=float(np.mean(losses)) if losses else None,
+            steps_per_machine=steps,
+            cache_churn=churn,
+            events=trace.validate(),
+        )
+
+    def _run_stepwise(self, epoch: int, *, dry_run: bool,
+                      sync_steps: Sequence[int],
+                      local_apply: bool) -> "EpochReport":
+        """One-batch-in-flight epoch loop shared by ``bsp`` and ``async``.
+
+        ``sync_steps`` are the steps that end with a synchronization
+        barrier; ``local_apply`` selects the sync flavor — ``False`` is the
+        seed loop (gradient all-reduce then a lock-step optimizer step at
+        every sync point), ``True`` applies each replica's own gradient
+        immediately and re-converges by parameter averaging at sync points.
+        """
+        from repro.pipeline.costmodel import served_rows_matrix
+        from repro.pipeline.events import EventTrace, Stage, emit_step_events
+
+        tr = self.trainer
+        K = tr.num_machines
+        steps = tr.steps_per_epoch()
+        ledger = CommLedger(K)
+        records = []
+        churn_before = tr.store.cache_churn()
+        iterators = self._iterators(epoch)
+        dims = self._dims_tuple()
+        sync_at = set(sync_steps)
+        trace = EventTrace(
+            engine=self.name, num_machines=K, num_steps=steps,
+            windows=[(s, s + 1) for s in range(steps)],
+            allreduce_steps=sorted(sync_at),
+        )
+
+        losses: List[float] = []
+        for step in range(steps):
+            step_records = []
+            step_losses = []
+            for k in range(K):
+                mfg = next(iterators[k])
+                feats, stats = tr.store.execute(tr.store.plan_gather(k, mfg.n_id))
+                self._record_fetch(ledger, k, stats)
+                loss_val = None
+                if not dry_run:
+                    loss_val = self._train_batch(k, feats, mfg)
+                    if local_apply:
+                        tr.optimizers[k].step()  # stale local apply, no barrier
+                        losses.append(loss_val)
+                    else:
+                        step_losses.append(loss_val)
+                rec = self._make_record(k, step, mfg, stats, loss_val)
+                records.append(rec)
+                step_records.append(rec)
+            served = served_rows_matrix(step_records, K)
+            for k, rec in enumerate(step_records):
+                emit_step_events(trace, rec, int(served[k]), dims)
+            if step in sync_at:
+                trace.add(Stage.ALLREDUCE, -1, step)
+                if not dry_run:
+                    if local_apply:
+                        average_parameters(tr.models, ledger)
+                    else:
+                        all_reduce_gradients(tr.models, ledger)
+                        for opt in tr.optimizers:
+                            opt.step()
+                        losses.extend(step_losses)
+
+        return self._finish_report(epoch, records, ledger, losses, steps,
+                                   churn_before, trace)
+
+    # -- interface ------------------------------------------------------
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
+        raise NotImplementedError
+
+
+@ENGINES.register("bsp")
+class BSPEngine(ExecutionEngine):
+    """Bulk-synchronous parallel: the seed trainer's loop, byte-for-byte.
+
+    One batch in flight per machine; every step gathers through the
+    plan/execute path (``execute(plan_gather(...))`` ≡ the monolithic
+    ``gather``), trains each replica, and closes with a gradient
+    all-reduce.  The emitted trace has one comm window and one allreduce
+    barrier per step.
+    """
+
+    name = "bsp"
+
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
+        steps = self.trainer.steps_per_epoch()
+        return self._run_stepwise(epoch, dry_run=dry_run,
+                                  sync_steps=range(steps), local_apply=False)
+
+
+@ENGINES.register("pipelined")
+class PipelinedEngine(ExecutionEngine):
+    """Depth-P in-flight batches per machine with coalesced fetches (§4.3).
+
+    Each comm window prefetches up to ``depth`` batches per machine,
+    coalesces their fetch plans (:meth:`FetchPlan.coalesce` deduplicates
+    remote vertex ids across the in-flight set), executes one shared peer
+    exchange, then trains the window's batches in step order with the same
+    per-step all-reduce as ``bsp``.  Feature bytes are identical to
+    ``bsp``'s (every row comes from its owner), so losses match
+    bit-for-bit; only *where* rows travel changes — duplicated remote rows
+    cross the wire once instead of once per batch.
+    """
+
+    name = "pipelined"
+
+    def __init__(self, trainer: "DistributedTrainer", depth: int = 10):
+        super().__init__(trainer)
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+
+    @classmethod
+    def _build(cls, trainer, *, pipeline_depth: int = 10, **_knobs):
+        return cls(trainer, depth=pipeline_depth)
+
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
+        from repro.pipeline.costmodel import served_rows_matrix
+        from repro.pipeline.events import (
+            EventTrace,
+            Stage,
+            emit_step_events,
+            emit_window_comm_events,
+        )
+
+        tr = self.trainer
+        K = tr.num_machines
+        steps = tr.steps_per_epoch()
+        depth = self.depth
+        ledger = CommLedger(K)
+        records = []
+        churn_before = tr.store.cache_churn()
+        prefetchers = [PrefetchIterator(it, depth)
+                       for it in self._iterators(epoch)]
+        dims = self._dims_tuple()
+        windows = [(w, min(w + depth, steps)) for w in range(0, steps, depth)]
+        trace = EventTrace(
+            engine=self.name, num_machines=K, num_steps=steps,
+            windows=windows, allreduce_steps=list(range(steps)),
+        )
+
+        losses: List[float] = []
+        for w0, w1 in windows:
+            width = w1 - w0
+            # --- prefetch + plan + coalesce + fetch, per machine. ---
+            batches: List[List[MFG]] = []
+            gathered = []  # [k][i] -> (feats, stats)
+            for k in range(K):
+                mfgs = prefetchers[k].next_window(width)
+                if len(mfgs) != width:
+                    raise RuntimeError(
+                        f"machine {k} batch stream ended early "
+                        f"({len(mfgs)}/{width} batches in window {w0})"
+                    )
+                plans = [tr.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
+                results = tr.store.execute_coalesced(FetchPlan.coalesce(plans))
+                for _feats, stats in results:
+                    self._record_fetch(ledger, k, stats)
+                batches.append(mfgs)
+                gathered.append(results)
+
+            # --- records, in (step, machine) order like bsp. ---
+            window_records: List[List] = []
+            for i, s in enumerate(range(w0, w1)):
+                step_records = []
+                for k in range(K):
+                    rec = self._make_record(
+                        k, s, batches[k][i], gathered[k][i][1], None
+                    )
+                    records.append(rec)
+                    step_records.append(rec)
+                window_records.append(step_records)
+
+            # --- events: per-step stages + one coalesced comm window. ---
+            window_served = np.zeros(K, dtype=np.int64)
+            for step_records in window_records:
+                window_served += served_rows_matrix(step_records, K)
+            for i, s in enumerate(range(w0, w1)):
+                for rec in window_records[i]:
+                    emit_step_events(trace, rec, 0, dims, window_start=w0)
+                trace.add(Stage.ALLREDUCE, -1, s)
+            for k in range(K):
+                machine_recs = [r for sr in window_records for r in sr
+                                if r.machine == k]
+                request_rows = int(sum(
+                    r.gather.remote_rows + r.gather.refresh_fetch_rows
+                    for r in machine_recs
+                ))
+                emit_window_comm_events(
+                    trace, w0, k, request_rows, int(window_served[k]),
+                    mfg_edges=int(sum(r.mfg_edges for r in machine_recs)),
+                )
+
+            # --- train the window's steps in bsp order. ---
+            if not dry_run:
+                for i, s in enumerate(range(w0, w1)):
+                    step_losses = []
+                    for k in range(K):
+                        loss_val = self._train_batch(
+                            k, gathered[k][i][0], batches[k][i]
+                        )
+                        window_records[i][k].loss = loss_val
+                        step_losses.append(loss_val)
+                    all_reduce_gradients(tr.models, ledger)
+                    for opt in tr.optimizers:
+                        opt.step()
+                    losses.extend(step_losses)
+
+        return self._finish_report(epoch, records, ledger, losses, steps,
+                                   churn_before, trace)
+
+
+@ENGINES.register("async")
+class AsyncEngine(ExecutionEngine):
+    """Bounded-staleness execution: local applies, periodic re-convergence.
+
+    Every step each replica applies its *own* gradient immediately (no
+    barrier); replicas re-synchronize by parameter averaging every
+    ``staleness + 1`` steps and at epoch end, so no replica's weights ever
+    lag the slowest peer by more than ``staleness`` local updates.
+    ``staleness = 0`` synchronizes every step (BSP cadence with parameter
+    instead of gradient averaging).  The emitted allreduce events exist
+    only at the sync points — the simulator sees the thinner barrier
+    structure, which is the mode's entire performance argument.
+    """
+
+    name = "async"
+
+    def __init__(self, trainer: "DistributedTrainer", staleness: int = 0):
+        super().__init__(trainer)
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.staleness = int(staleness)
+
+    @classmethod
+    def _build(cls, trainer, *, staleness: int = 0, **_knobs):
+        return cls(trainer, staleness=staleness)
+
+    def sync_steps(self, steps: int) -> List[int]:
+        period = self.staleness + 1
+        out = [s for s in range(steps) if (s + 1) % period == 0]
+        if steps and (steps - 1) not in out:
+            out.append(steps - 1)  # epoch end always re-converges
+        return out
+
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
+        steps = self.trainer.steps_per_epoch()
+        return self._run_stepwise(epoch, dry_run=dry_run,
+                                  sync_steps=self.sync_steps(steps),
+                                  local_apply=True)

@@ -4,37 +4,38 @@ One Python process simulates K single-GPU machines: each machine owns a
 partition of the (reordered) training vertices, samples its own minibatches
 from its own RNG stream, gathers features through the partitioned store
 (local GPU/CPU tiers, static or dynamic remote cache, remote peers),
-computes forward/backward on its own model replica, and synchronizes
-gradients with an all-reduce — the same bulk-synchronous step structure as
-SALIENT++ on a real cluster.  Non-stationary workloads swap the active
-training set between epochs via :meth:`DistributedTrainer.update_training_set`,
-and dynamic-cache churn is attributed per epoch in the report.
+computes forward/backward on its own model replica, and synchronizes with
+its peers.  *How* an epoch is scheduled — lock-step BSP, depth-P pipelined
+with coalesced fetches, or bounded-staleness async — is delegated to a
+pluggable :class:`~repro.distributed.engine.ExecutionEngine`;
+:meth:`DistributedTrainer.train_epoch` is a thin driver over the configured
+engine.  Non-stationary workloads swap the active training set between
+epochs via :meth:`DistributedTrainer.update_training_set`, and
+dynamic-cache churn is attributed per epoch in the report.
 
 Every step produces a :class:`StepRecord` with the exact workload volumes
 (MFG sizes, candidate edges examined by the sampler, per-category feature
-rows, per-peer remote rows, model FLOPs); the discrete-event performance
-model replays these records to produce epoch times.  ``dry_run`` epochs skip
-the numpy GNN math but record identical volumes, which keeps big timing
-sweeps cheap.
+rows, per-peer remote rows, model FLOPs), and every report carries the
+engine's emitted :class:`~repro.pipeline.events.EventTrace` — the schedule
+the discrete-event performance model prices.  ``dry_run`` epochs skip the
+numpy GNN math but record identical volumes, which keeps big timing sweeps
+cheap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.distributed.cluster import ClusterSpec
 from repro.distributed.comm import (
     CommLedger,
-    all_reduce_gradients,
     broadcast_state,
     gradient_nbytes,
 )
 from repro.distributed.dynamic_cache import CacheChurnStats
 from repro.distributed.feature_store import GatherStats, PartitionedFeatureStore
-from repro.nn.functional import accuracy, cross_entropy
 from repro.nn.models import MFGModel, build_model
 from repro.nn.optim import Adam
 from repro.partition.reorder import ReorderedDataset
@@ -79,7 +80,10 @@ class EpochReport:
     """One training epoch's functional results and workload trace.
 
     ``cache_churn`` holds per-machine dynamic-cache churn attributed to this
-    epoch (``None`` when the feature store uses static caches).
+    epoch (``None`` when the feature store uses static caches).  ``events``
+    is the executing engine's emitted stage-event schedule (an
+    :class:`~repro.pipeline.events.EventTrace`), which the simulator prices
+    directly; ``None`` only for reports constructed by hand.
     """
 
     epoch: int
@@ -88,6 +92,7 @@ class EpochReport:
     mean_loss: Optional[float]
     steps_per_machine: int
     cache_churn: Optional[List[CacheChurnStats]] = None
+    events: Optional["EventTrace"] = None  # noqa: F821 - see pipeline.events
 
     def records_for(self, machine: int) -> List[StepRecord]:
         return [r for r in self.records if r.machine == machine]
@@ -101,6 +106,11 @@ class EpochReport:
     def total_refresh_rows(self) -> int:
         """Rows fetched by ``vip-refresh`` cache swaps this epoch."""
         return int(sum(r.gather.refresh_fetch_rows for r in self.records))
+
+    def total_coalesced_rows(self) -> int:
+        """Rows deduplicated against another in-flight batch (pipelined
+        execution): needed again, but never re-fetched over the wire."""
+        return int(sum(r.gather.coalesced_rows for r in self.records))
 
     def total_comm_rows(self) -> int:
         """All feature rows moved over the network (demand + cache updates)."""
@@ -122,7 +132,7 @@ def _candidate_edges(degrees: np.ndarray, mfg: MFG) -> int:
 
 
 class DistributedTrainer:
-    """Bulk-synchronous data-parallel trainer over K simulated machines.
+    """Data-parallel trainer over K simulated machines.
 
     Parameters
     ----------
@@ -134,7 +144,11 @@ class DistributedTrainer:
         Per-hop sampling fanouts and per-machine minibatch size.
     hidden_dim / arch / dropout / lr:
         Model and optimizer hyperparameters (one replica per machine, all
-        initialized identically and kept in lock-step by all-reduce).
+        initialized identically).
+    engine / pipeline_depth / staleness:
+        The execution engine (a :data:`~repro.distributed.engine.ENGINES`
+        name, default ``"bsp"``) and its knobs: in-flight batches per
+        machine for ``pipelined``, staleness bound for ``async``.
     """
 
     def __init__(
@@ -149,7 +163,14 @@ class DistributedTrainer:
         dropout: float = 0.0,
         lr: float = 1e-3,
         seed: SeedLike = 0,
+        engine: str = "bsp",
+        pipeline_depth: int = 10,
+        staleness: int = 0,
     ):
+        # Local import: the engine module needs the record/report types
+        # defined above, so the dependency must stay one-way at import time.
+        from repro.distributed.engine import make_engine
+
         if store.num_machines != reordered.num_parts:
             raise ValueError("store and reordered dataset disagree on machine count")
         self.reordered = reordered
@@ -176,6 +197,8 @@ class DistributedTrainer:
         broadcast_state(self.models)  # identical initial weights
         self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
         self.local_train = [reordered.local_train_ids(k) for k in range(self.num_machines)]
+        self.engine = make_engine(engine, self, pipeline_depth=pipeline_depth,
+                                  staleness=staleness)
 
     # ------------------------------------------------------------------
     def update_training_set(self, train_idx: np.ndarray) -> None:
@@ -215,73 +238,9 @@ class DistributedTrainer:
 
     # ------------------------------------------------------------------
     def train_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
-        """Run one synchronous epoch; ``dry_run`` records volumes only."""
-        steps = self.steps_per_epoch()
-        ledger = CommLedger(self.num_machines)
-        records: List[StepRecord] = []
-        degrees = self.ds.graph.degrees
-        churn_before = self.store.cache_churn()
-
-        iterators = [
-            self.samplers[k].batches(
-                self.local_train[k], self.batch_size,
-                drop_last=True, epoch=epoch, seed=derive_seed(self.seed, "order", k),
-            )
-            for k in range(self.num_machines)
-        ]
-
-        losses = []
-        for step in range(steps):
-            step_losses = []
-            for k in range(self.num_machines):
-                mfg = next(iterators[k])
-                feats, stats = self.store.gather(k, mfg.n_id)
-                ledger.record_feature_fetch(k, stats.remote_per_peer,
-                                            self.store.bytes_per_row)
-                if stats.refresh_fetch_per_peer is not None:
-                    ledger.record_feature_fetch(k, stats.refresh_fetch_per_peer,
-                                                self.store.bytes_per_row)
-                loss_val = None
-                if not dry_run:
-                    model = self.models[k]
-                    model.train()
-                    logits = model(feats, mfg)
-                    loss = cross_entropy(logits, self.ds.labels[mfg.seeds])
-                    model.zero_grad()
-                    loss.backward()
-                    loss_val = loss.item()
-                    step_losses.append(loss_val)
-                records.append(StepRecord(
-                    machine=k,
-                    step=step,
-                    batch_size=mfg.batch_size,
-                    mfg_vertices=mfg.num_vertices,
-                    mfg_edges=mfg.num_edges,
-                    candidate_edges=_candidate_edges(degrees, mfg),
-                    block_sizes=tuple(
-                        (b.num_src, b.num_dst, b.num_edges) for b in mfg.blocks
-                    ),
-                    gather=stats,
-                    loss=loss_val,
-                ))
-            if not dry_run:
-                all_reduce_gradients(self.models, ledger)
-                for opt in self.optimizers:
-                    opt.step()
-                losses.extend(step_losses)
-
-        churn = None
-        if churn_before is not None:
-            churn = [after.delta(before) for after, before
-                     in zip(self.store.cache_churn(), churn_before)]
-        return EpochReport(
-            epoch=epoch,
-            records=records,
-            ledger=ledger,
-            mean_loss=float(np.mean(losses)) if losses else None,
-            steps_per_machine=steps,
-            cache_churn=churn,
-        )
+        """Run one epoch under the configured execution engine; ``dry_run``
+        records volumes (and the engine's event schedule) only."""
+        return self.engine.run_epoch(epoch, dry_run=dry_run)
 
     def train(self, epochs: int, *, dry_run: bool = False) -> List[EpochReport]:
         return [self.train_epoch(e, dry_run=dry_run) for e in range(epochs)]

@@ -53,6 +53,12 @@ class GatherStats:
     ``refresh_fetch_per_peer`` counts rows a ``vip-refresh`` swap pulled
     from each peer (cache-update traffic, charged by the cost model on top
     of the demand fetches).
+
+    ``coalesced_rows`` counts rows that would have been remote fetches but
+    were deduplicated against another in-flight minibatch of the same
+    machine (pipelined execution): the bytes crossed the wire exactly once,
+    charged to the first requesting batch, and this batch reads them from
+    host memory like cached rows.  Always zero for one-at-a-time gathers.
     """
 
     total_rows: int
@@ -64,6 +70,7 @@ class GatherStats:
     cache_insertions: int = 0
     cache_evictions: int = 0
     refresh_fetch_per_peer: Optional[np.ndarray] = None
+    coalesced_rows: int = 0
 
     def remote_fraction(self) -> float:
         return self.remote_rows / max(self.total_rows, 1)
@@ -77,6 +84,100 @@ class GatherStats:
     def comm_rows(self) -> int:
         """All rows this gather moved over the network (demand + refresh)."""
         return self.remote_rows + self.refresh_fetch_rows
+
+
+@dataclass
+class FetchPlan:
+    """Where every row of one gather request will come from.
+
+    Produced by :meth:`PartitionedFeatureStore.plan_gather` via the O(1)
+    reorder arithmetic (owner = offset bisection, local row = subtraction)
+    plus one cache-membership lookup; consumed by
+    :meth:`PartitionedFeatureStore.execute`.  All ``*_pos`` arrays are
+    positions into ``ids`` (which keeps the caller's request order), so
+    executing a plan fills an output matrix without re-deriving anything.
+
+    A plan describes the cache state *at planning time*: execute plans
+    promptly (dynamic caches mutate on execution, which is what makes a
+    plan stale).
+    """
+
+    machine: int
+    ids: np.ndarray
+    local_pos: np.ndarray
+    local_ids: np.ndarray
+    gpu_rows: int
+    cpu_rows: int
+    cached_pos: np.ndarray
+    cached_ids: np.ndarray
+    remote_pos: np.ndarray
+    remote_ids: np.ndarray
+    #: All non-local ids in request order (cached + remote) — what a dynamic
+    #: cache counts as this batch's accesses.
+    nonlocal_ids: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.ids)
+
+    @staticmethod
+    def coalesce(plans: Sequence["FetchPlan"]) -> "CoalescedFetchPlan":
+        """Merge the plans of several in-flight minibatches of one machine.
+
+        Remote vertex ids requested by more than one plan are deduplicated:
+        the peer exchange fetches each id exactly once, attributed to the
+        *first* requesting plan; later plans read the row from the shared
+        in-flight buffer (counted as ``coalesced_rows`` in their stats).
+        This is the §4.3 payoff of keeping multiple batches in flight that a
+        one-batch-at-a-time gather can never realize.
+        """
+        if not plans:
+            raise ValueError("cannot coalesce an empty plan list")
+        machine = plans[0].machine
+        if any(p.machine != machine for p in plans):
+            raise ValueError("coalesced plans must belong to one machine")
+        unique_remote = np.unique(np.concatenate([p.remote_ids for p in plans]))
+        seen = np.zeros(len(unique_remote), dtype=bool)
+        first_request: List[np.ndarray] = []
+        for p in plans:
+            slots = np.searchsorted(unique_remote, p.remote_ids)
+            fresh = ~seen[slots]
+            seen[slots] = True
+            first_request.append(fresh)
+        return CoalescedFetchPlan(
+            machine=machine,
+            plans=list(plans),
+            unique_remote_ids=unique_remote,
+            first_request=first_request,
+        )
+
+
+@dataclass
+class CoalescedFetchPlan:
+    """Several :class:`FetchPlan`\\ s of one machine sharing one peer fetch.
+
+    ``unique_remote_ids`` is the sorted union of the sub-plans' remote ids;
+    ``first_request[i]`` masks sub-plan ``i``'s remote ids that no earlier
+    sub-plan requested (those are charged to it as remote traffic; the rest
+    are its ``coalesced_rows``).
+    """
+
+    machine: int
+    plans: List[FetchPlan]
+    unique_remote_ids: np.ndarray
+    first_request: List[np.ndarray]
+
+    @property
+    def depth(self) -> int:
+        return len(self.plans)
+
+    def total_unique_remote(self) -> int:
+        return len(self.unique_remote_ids)
+
+    def duplicate_rows(self) -> int:
+        """Remote rows saved by coalescing (fetched once, needed N>1 times)."""
+        return int(sum(len(p.remote_ids) for p in self.plans)
+                   - len(self.unique_remote_ids))
 
 
 class StaticCache:
@@ -364,6 +465,10 @@ class PartitionedFeatureStore:
         monolithic array), so correctness of the distributed layout is
         exercised on every call.
 
+        This is exactly ``execute(plan_gather(machine, ids))`` — the
+        plan/execute split exists so an execution engine can coalesce the
+        plans of several in-flight minibatches before fetching.
+
         When ``machine`` has a dynamic cache the gather also maintains it:
         hits refresh replacement metadata, missed rows are admitted (LRU /
         LFU / CLOCK), and due refreshes swap the contents — all *after* the
@@ -371,41 +476,167 @@ class PartitionedFeatureStore:
         request actually saw.  Refresh fetches are reported separately in
         ``stats.refresh_fetch_per_peer``.
         """
+        return self.execute(self.plan_gather(machine, ids))
+
+    def plan_gather(self, machine: int, ids: np.ndarray) -> FetchPlan:
+        """Classify ``ids`` into local-GPU / local-CPU / cached / remote.
+
+        Pure planning: no feature bytes move and no cache state changes.
+        Ownership and local-row offsets are O(1) arithmetic on the reorder
+        offsets; cache membership is one vectorized slot-map lookup.
+        """
         ids = np.asarray(ids, dtype=np.int64)
         store = self.stores[machine]
-        out = np.empty((len(ids), self.feature_dim), dtype=store.local_features.dtype)
 
         local_mask = store.is_local(ids)
+        local_pos = np.flatnonzero(local_mask)
         local_ids = ids[local_mask]
-        out[local_mask] = store.local_rows(local_ids)
         gpu_rows = int(np.count_nonzero(local_ids - store.lo < store.gpu_rows))
         cpu_rows = len(local_ids) - gpu_rows
 
         nonlocal_mask = ~local_mask
         nl_ids = ids[nonlocal_mask]
+        nl_pos = np.flatnonzero(nonlocal_mask)
         cached_mask_nl = store.is_cached(nl_ids)
-        cached_ids = nl_ids[cached_mask_nl]
-        cached_pos = np.flatnonzero(nonlocal_mask)[cached_mask_nl]
-        out[cached_pos] = store.cached_rows(cached_ids)
-
-        remote_pos = np.flatnonzero(nonlocal_mask)[~cached_mask_nl]
-        remote_ids = nl_ids[~cached_mask_nl]
-        remote_rows, remote_per_peer = self._fetch_remote_rows(machine, remote_ids)
-        out[remote_pos] = remote_rows
-
-        stats = GatherStats(
-            total_rows=len(ids),
+        return FetchPlan(
+            machine=machine,
+            ids=ids,
+            local_pos=local_pos,
+            local_ids=local_ids,
             gpu_rows=gpu_rows,
             cpu_rows=cpu_rows,
-            cached_rows=len(cached_ids),
-            remote_rows=len(remote_ids),
+            cached_pos=nl_pos[cached_mask_nl],
+            cached_ids=nl_ids[cached_mask_nl],
+            remote_pos=nl_pos[~cached_mask_nl],
+            remote_ids=nl_ids[~cached_mask_nl],
+            nonlocal_ids=nl_ids,
+        )
+
+    def execute(self, plan: FetchPlan):
+        """Execute one :class:`FetchPlan`: assemble the feature matrix, take
+        :class:`GatherStats`, then run dynamic-cache maintenance.
+
+        Bit-identical to the pre-split ``gather`` for any id mix (the parity
+        property test in ``tests/distributed/test_engine.py`` asserts this).
+        """
+        store = self.stores[plan.machine]
+        out = np.empty((len(plan.ids), self.feature_dim),
+                       dtype=store.local_features.dtype)
+        out[plan.local_pos] = store.local_rows(plan.local_ids)
+        out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
+        remote_rows, remote_per_peer = self._fetch_remote_rows(
+            plan.machine, plan.remote_ids
+        )
+        out[plan.remote_pos] = remote_rows
+
+        stats = GatherStats(
+            total_rows=len(plan.ids),
+            gpu_rows=plan.gpu_rows,
+            cpu_rows=plan.cpu_rows,
+            cached_rows=len(plan.cached_ids),
+            remote_rows=len(plan.remote_ids),
             remote_per_peer=remote_per_peer,
         )
         if store.has_dynamic_cache:
             self._maintain_dynamic_cache(
-                store, stats, cached_ids, remote_ids, out, remote_pos, nl_ids,
+                store, stats, plan.cached_ids, plan.remote_ids, out,
+                plan.remote_pos, plan.nonlocal_ids,
             )
         return out, stats
+
+    def execute_coalesced(self, cplan: CoalescedFetchPlan):
+        """Execute the merged plans of several in-flight minibatches.
+
+        One peer exchange serves the deduplicated union of the sub-plans'
+        remote ids; each sub-plan's matrix is then assembled from local
+        rows, cache rows, and the shared in-flight pool.  Returns a list of
+        ``(features, stats)`` in sub-plan order.  Stats attribute each
+        unique remote row to the first requesting sub-plan; later requests
+        of the same id are that plan's ``coalesced_rows``.
+
+        With a dynamic cache, all assembly happens against the cache state
+        the plans were made with (reads only); maintenance (hits, gated
+        admission of the window's misses, due refreshes) runs afterwards,
+        sub-plan by sub-plan, so refresh intervals still tick once per
+        batch.
+        """
+        store = self.stores[cplan.machine]
+        pool_rows, _ = self._fetch_remote_rows(
+            cplan.machine, cplan.unique_remote_ids
+        )
+        owners = (self.reordered.owner_of(cplan.unique_remote_ids)
+                  if len(cplan.unique_remote_ids) else
+                  np.empty(0, dtype=np.int64))
+
+        results = []
+        for plan, fresh in zip(cplan.plans, cplan.first_request):
+            out = np.empty((len(plan.ids), self.feature_dim),
+                           dtype=store.local_features.dtype)
+            out[plan.local_pos] = store.local_rows(plan.local_ids)
+            out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
+            slots = np.searchsorted(cplan.unique_remote_ids, plan.remote_ids)
+            out[plan.remote_pos] = pool_rows[slots]
+
+            per_peer = np.zeros(self.num_machines, dtype=np.int64)
+            if fresh.any():
+                np.add.at(per_peer, owners[slots[fresh]], 1)
+            results.append((out, GatherStats(
+                total_rows=len(plan.ids),
+                gpu_rows=plan.gpu_rows,
+                cpu_rows=plan.cpu_rows,
+                cached_rows=len(plan.cached_ids),
+                remote_rows=int(fresh.sum()),
+                remote_per_peer=per_peer,
+                coalesced_rows=int(len(plan.remote_ids) - fresh.sum()),
+            )))
+
+        if store.has_dynamic_cache:
+            for plan, (out, stats) in zip(cplan.plans, results):
+                self._maintain_dynamic_cache_in_flight(store, stats, plan, out)
+        return results
+
+    def _maintain_dynamic_cache_in_flight(
+        self,
+        store: MachineStore,
+        stats: GatherStats,
+        plan: FetchPlan,
+        out: np.ndarray,
+    ) -> None:
+        """Dynamic-cache maintenance for one sub-plan of a coalesced window.
+
+        The plan's classification may be stale by now (an earlier sub-plan's
+        maintenance can admit or evict), so membership is re-checked against
+        the *current* cache: still-cached planned hits and since-admitted
+        planned misses count as hits; the rest of the planned misses are
+        admission candidates.
+        """
+        cache: DynamicCache = store.cache
+        evictions_before = cache.churn.evictions
+        still_cached = store.is_cached(plan.cached_ids)
+        cache.note_hits(plan.cached_ids[still_cached])
+        now_cached = store.is_cached(plan.remote_ids)
+        cache.note_hits(plan.remote_ids[now_cached])
+        stats.cache_insertions += cache.admit(
+            plan.remote_ids[~now_cached], out[plan.remote_pos[~now_cached]]
+        )
+        if cache.end_batch(plan.nonlocal_ids):
+            if self._refresh_score_fn is not None:
+                scores = np.asarray(
+                    self._refresh_score_fn(store.part_id), dtype=np.float64
+                ).copy()
+            else:
+                scores = cache.observed_scores()
+            scores[store.lo:store.hi] = 0.0
+            refresh_plan = cache.plan_refresh(
+                scores, horizon=cache.spec.refresh_interval
+            )
+            new_rows, fetch_per_peer = self._fetch_remote_rows(
+                store.part_id, refresh_plan.new_ids
+            )
+            cache.commit_refresh(refresh_plan, new_rows)
+            stats.refresh_fetch_per_peer = fetch_per_peer
+            stats.cache_insertions += len(refresh_plan.new_ids)
+        stats.cache_evictions = cache.churn.evictions - evictions_before
 
     def _maintain_dynamic_cache(
         self,

@@ -14,14 +14,30 @@ from repro.pipeline.costmodel import (
     StageTimes,
     served_rows_matrix,
 )
-from repro.pipeline.simulator import PipelineMode, PipelineResult, simulate_epoch
+from repro.pipeline.events import (
+    EventTrace,
+    Stage,
+    StageEvent,
+    trace_from_report,
+)
+from repro.pipeline.simulator import (
+    PipelineMode,
+    PipelineResult,
+    simulate_epoch,
+    simulate_trace,
+)
 
 __all__ = [
     "CostModel",
     "ModelDims",
     "StageTimes",
     "served_rows_matrix",
+    "EventTrace",
+    "Stage",
+    "StageEvent",
+    "trace_from_report",
     "PipelineMode",
     "PipelineResult",
     "simulate_epoch",
+    "simulate_trace",
 ]

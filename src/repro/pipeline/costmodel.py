@@ -101,7 +101,9 @@ class CostModel:
         g = rec.gather
 
         sample = rec.candidate_edges / m.sample_rate + m.overhead_per_batch
-        host_rows = g.cpu_rows + g.cached_rows
+        # Coalesced rows (deduplicated against another in-flight batch) are
+        # host-resident by the time this batch assembles, like cached rows.
+        host_rows = g.cpu_rows + g.cached_rows + g.coalesced_rows
         # Dynamic-cache maintenance is CPU work: every admitted or refreshed
         # row is one extra memcpy into the cache slab.
         cache_update_rows = g.cache_insertions
@@ -143,6 +145,49 @@ class CostModel:
 
     def allreduce_time(self) -> float:
         return self.cluster.all_reduce_time(self.grad_nbytes)
+
+    # ------------------------------------------------------------------
+    def event_duration(self, ev) -> float:
+        """Price one :class:`~repro.pipeline.events.StageEvent` (seconds).
+
+        Uses the same rate formulas as :meth:`stage_times`, so a per-step
+        event trace prices identically to the record-based path (the parity
+        tests assert exact float equality).
+        """
+        from repro.pipeline.events import Stage
+
+        m = self.cluster.machine
+        net = self.cluster.network
+        bpr = self.bytes_per_row
+        stage = ev.stage
+        if stage is Stage.SAMPLE:
+            return ev.volume("candidate_edges") / m.sample_rate + m.overhead_per_batch
+        if stage is Stage.LOCAL_SLICE:
+            return ev.volume("rows") * bpr / m.cpu_slice_rate
+        if stage is Stage.SERVE_SLICE:
+            return ev.volume("rows") * bpr / m.cpu_slice_rate
+        if stage is Stage.REQUEST_EXCHANGE:
+            request, serve = ev.volume("request_rows"), ev.volume("serve_rows")
+            if request == 0 and serve == 0:
+                return 0.0
+            id_bytes = (request + serve) * 8
+            return 2 * net.latency + id_bytes / net.effective_bandwidth
+        if stage is Stage.FEATURE_COMM:
+            in_rows, out_rows = ev.volume("in_rows"), ev.volume("out_rows")
+            if in_rows == 0 and out_rows == 0:
+                return 0.0
+            in_bytes = in_rows * bpr
+            out_bytes = out_rows * bpr
+            return net.latency + max(in_bytes, out_bytes) / net.effective_bandwidth
+        if stage is Stage.H2D:
+            return ev.volume("rows") * bpr / m.pcie_bandwidth
+        if stage is Stage.GPU_GATHER:
+            return (ev.volume("gpu_rows") + ev.volume("total_rows")) * bpr / m.gpu_slice_rate
+        if stage is Stage.TRAIN:
+            return ev.volume("flops") / m.gpu_flops
+        if stage is Stage.ALLREDUCE:
+            return self.allreduce_time()
+        raise ValueError(f"unknown stage {stage!r}")
 
 
 def served_rows_matrix(step_records: Sequence[StepRecord], num_machines: int) -> np.ndarray:

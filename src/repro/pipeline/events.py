@@ -1,0 +1,234 @@
+"""Stage events: the execution engines' schedule, as data.
+
+Historically the discrete-event simulator *reconstructed* the pipeline's
+stage graph from :class:`~repro.distributed.executor.StepRecord` volumes —
+fine while the functional executor had exactly one schedule (lock-step BSP),
+but wrong the moment engines differ in what they overlap or coalesce.  This
+module turns the schedule into an explicit artifact: every execution engine
+emits one :class:`StageEvent` per (stage, machine, step-or-window) with the
+exact volumes that stage moved, and the simulator prices *that* — the same
+taxonomy as :mod:`repro.pipeline.costmodel` (Appendix D):
+
+======================  ==========================  =========================
+stage                   granularity                 volumes
+======================  ==========================  =========================
+SAMPLE                  per (machine, step)         candidate_edges
+LOCAL_SLICE             per (machine, step)         rows (host + cache upd.)
+REQUEST_EXCHANGE        per (machine, comm window)  request_rows, serve_rows
+SERVE_SLICE             per (machine, comm window)  rows
+FEATURE_COMM            per (machine, comm window)  in_rows, out_rows
+H2D                     per (machine, step)         rows
+GPU_GATHER              per (machine, step)         gpu_rows, total_rows
+TRAIN                   per (machine, step)         flops
+ALLREDUCE               per step (all machines)     —
+======================  ==========================  =========================
+
+A *comm window* is the engine's unit of communication: one step for ``bsp``
+and ``async``, up to ``depth`` steps for ``pipelined`` (whose in-flight
+batches share one deduplicated peer exchange).  :func:`trace_from_report`
+builds the per-step (window size 1) trace from recorded volumes, so legacy
+reports and engine-emitted traces flow through one pricing path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.distributed.executor import EpochReport
+
+
+class Stage(enum.Enum):
+    """Pipeline stage taxonomy (matches the cost model's)."""
+
+    SAMPLE = "sample"
+    REQUEST_EXCHANGE = "request_exchange"
+    LOCAL_SLICE = "local_slice"
+    SERVE_SLICE = "serve_slice"
+    FEATURE_COMM = "feature_comm"
+    H2D = "h2d"
+    GPU_GATHER = "gpu_gather"
+    TRAIN = "train"
+    ALLREDUCE = "allreduce"
+
+
+#: Stages emitted once per (machine, comm window) rather than per step.
+WINDOW_STAGES = (Stage.REQUEST_EXCHANGE, Stage.SERVE_SLICE, Stage.FEATURE_COMM)
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage execution with its exact volumes.
+
+    ``step`` is the owning minibatch step for per-step stages; for window
+    stages it is the window's first step.  ``machine`` is ``-1`` for the
+    global ALLREDUCE rendezvous.  ``volumes`` holds the integer/float
+    drivers the cost model prices (see the module table).
+    """
+
+    stage: Stage
+    machine: int
+    step: int
+    volumes: Tuple[Tuple[str, float], ...] = ()
+
+    def volume(self, key: str, default: float = 0.0) -> float:
+        for k, v in self.volumes:
+            if k == key:
+                return v
+        return default
+
+
+def _vols(**kw) -> Tuple[Tuple[str, float], ...]:
+    return tuple(kw.items())
+
+
+@dataclass
+class EventTrace:
+    """The full stage-event schedule of one functional epoch.
+
+    ``windows`` partitions ``range(num_steps)`` into the engine's comm
+    windows (half-open ``(start, end)`` pairs, in order, covering every
+    step).  ``allreduce_steps`` lists the steps the engine closed with a
+    gradient synchronization — every step for ``bsp``/``pipelined``, only
+    the sync points for bounded-staleness ``async``.
+    """
+
+    engine: str
+    num_machines: int
+    num_steps: int
+    windows: List[Tuple[int, int]]
+    allreduce_steps: List[int] = field(default_factory=list)
+    events: List[StageEvent] = field(default_factory=list)
+    _index: Optional[Dict[Tuple["Stage", int, int], StageEvent]] = \
+        field(default=None, repr=False, compare=False)
+
+    def add(self, stage: Stage, machine: int, step: int, **volumes) -> None:
+        self._index = None  # appended events invalidate the memoized index
+        self.events.append(StageEvent(
+            stage=stage, machine=machine, step=step, volumes=_vols(**volumes)
+        ))
+
+    def index(self) -> Dict[Tuple[Stage, int, int], StageEvent]:
+        """(stage, machine, step) -> event (window stages keyed by window
+        start), memoized until the next :meth:`add`.  Duplicate keys are an
+        engine bug and raise."""
+        if self._index is not None:
+            return self._index
+        out: Dict[Tuple[Stage, int, int], StageEvent] = {}
+        for ev in self.events:
+            key = (ev.stage, ev.machine, ev.step)
+            if key in out:
+                raise ValueError(f"duplicate stage event {key}")
+            out[key] = ev
+        self._index = out
+        return out
+
+    def validate(self) -> "EventTrace":
+        """Structural checks: windows tile the step range; per-step stages
+        present for every (machine, step); window stages per window."""
+        covered = [s for lo, hi in self.windows for s in range(lo, hi)]
+        if covered != list(range(self.num_steps)):
+            raise ValueError(
+                f"windows {self.windows} do not tile {self.num_steps} steps"
+            )
+        idx = self.index()
+        per_step = (Stage.SAMPLE, Stage.LOCAL_SLICE, Stage.H2D,
+                    Stage.GPU_GATHER, Stage.TRAIN)
+        for s in range(self.num_steps):
+            for k in range(self.num_machines):
+                for st in per_step:
+                    if (st, k, s) not in idx:
+                        raise ValueError(f"missing {st.value} event for "
+                                         f"machine {k}, step {s}")
+        for lo, _hi in self.windows:
+            for k in range(self.num_machines):
+                for st in WINDOW_STAGES:
+                    if (st, k, lo) not in idx:
+                        raise ValueError(f"missing {st.value} event for "
+                                         f"machine {k}, window {lo}")
+        for s in self.allreduce_steps:
+            if (Stage.ALLREDUCE, -1, s) not in idx:
+                raise ValueError(f"missing allreduce event for step {s}")
+        return self
+
+
+def trace_from_report(report: EpochReport, dims,
+                      engine: str = "bsp") -> EventTrace:
+    """Reconstruct the per-step (window size 1) trace from recorded volumes.
+
+    This is the legacy adapter: a report produced without an event trace
+    (or by code predating engines) gets the lock-step BSP schedule its
+    records imply.  ``dims`` is a :class:`~repro.pipeline.costmodel.ModelDims`
+    (the TRAIN events need FLOPs, which depend on model widths).
+    """
+    from repro.pipeline.costmodel import served_rows_matrix
+
+    K = report.ledger.num_machines
+    steps = report.steps_per_machine
+    by_step: List[List] = [[] for _ in range(steps)]
+    for rec in report.records:
+        by_step[rec.step].append(rec)
+    for s, recs in enumerate(by_step):
+        recs.sort(key=lambda r: r.machine)
+        if len(recs) != K:
+            raise ValueError(f"step {s} has {len(recs)} records, expected {K}")
+
+    trace = EventTrace(
+        engine=engine, num_machines=K, num_steps=steps,
+        windows=[(s, s + 1) for s in range(steps)],
+        allreduce_steps=list(range(steps)),
+    )
+    for s, recs in enumerate(by_step):
+        served = served_rows_matrix(recs, K)
+        for k, rec in enumerate(recs):
+            emit_step_events(trace, rec, int(served[k]), dims)
+        trace.add(Stage.ALLREDUCE, -1, s)
+    return trace
+
+
+def emit_step_events(trace: EventTrace, rec, served_rows: int, dims,
+                     window_start: Optional[int] = None) -> None:
+    """Emit the per-step stage events for one machine-step record.
+
+    When ``window_start`` is given, the comm stages (request exchange,
+    serve slice, feature comm) are *not* emitted — the engine emits those
+    once per window via :func:`emit_window_comm_events` — otherwise the
+    step is its own window and they are emitted here.
+    """
+    g = rec.gather
+    k, s = rec.machine, rec.step
+    dims_tuple = dims.as_tuple if hasattr(dims, "as_tuple") else tuple(dims)
+    host_rows = g.cpu_rows + g.cached_rows + g.coalesced_rows
+    trace.add(Stage.SAMPLE, k, s, candidate_edges=rec.candidate_edges)
+    trace.add(Stage.LOCAL_SLICE, k, s, rows=host_rows + g.cache_insertions)
+    trace.add(Stage.H2D, k, s, rows=host_rows + g.remote_rows)
+    trace.add(Stage.GPU_GATHER, k, s, gpu_rows=g.gpu_rows,
+              total_rows=g.total_rows)
+    trace.add(Stage.TRAIN, k, s, flops=rec.flops(*dims_tuple))
+    if window_start is None:
+        remote = g.remote_rows + g.refresh_fetch_rows
+        trace.add(Stage.REQUEST_EXCHANGE, k, s,
+                  request_rows=remote, serve_rows=served_rows,
+                  mfg_edges=rec.mfg_edges)
+        trace.add(Stage.SERVE_SLICE, k, s, rows=served_rows)
+        trace.add(Stage.FEATURE_COMM, k, s,
+                  in_rows=remote, out_rows=served_rows)
+
+
+def emit_window_comm_events(trace: EventTrace, window_start: int, machine: int,
+                            request_rows: int, serve_rows: int,
+                            mfg_edges: int = 0) -> None:
+    """Emit one machine's coalesced comm stages for a multi-step window.
+
+    ``mfg_edges`` is the window total (derived cost models — e.g. the
+    DistDGL baseline's remote-sampling RPC term — price it; the base model
+    ignores it).
+    """
+    trace.add(Stage.REQUEST_EXCHANGE, machine, window_start,
+              request_rows=request_rows, serve_rows=serve_rows,
+              mfg_edges=mfg_edges)
+    trace.add(Stage.SERVE_SLICE, machine, window_start, rows=serve_rows)
+    trace.add(Stage.FEATURE_COMM, machine, window_start,
+              in_rows=request_rows, out_rows=serve_rows)

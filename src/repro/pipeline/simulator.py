@@ -22,13 +22,14 @@ The simulator yields the epoch makespan and a Figure-8-style attribution
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
-from repro.distributed.executor import EpochReport, StepRecord
-from repro.pipeline.costmodel import CostModel, StageTimes, served_rows_matrix
+from repro.distributed.executor import EpochReport
+from repro.pipeline.costmodel import CostModel
+from repro.pipeline.events import EventTrace, Stage, trace_from_report
 
 
 class PipelineMode(enum.Enum):
@@ -65,111 +66,129 @@ class PipelineResult:
         return max(self.resource_busy, key=lambda r: float(self.resource_busy[r].max()))
 
 
-def simulate_epoch(
-    report: EpochReport,
+def simulate_trace(
+    trace: EventTrace,
     cost_model: CostModel,
     *,
     mode: PipelineMode = PipelineMode.FULL,
     depth: int = 10,
     include_allreduce: bool = True,
 ) -> PipelineResult:
-    """Simulate one epoch from a functional :class:`EpochReport`.
+    """Simulate one epoch from an engine-emitted :class:`EventTrace`.
 
-    Returns the epoch makespan (including pipeline warm-up, as the paper's
-    reported runtimes do) and per-category time attribution.
+    The unified event path: engines emit the stage events they actually
+    executed (per-step for ``bsp``/``async``, window-coalesced comm for
+    ``pipelined``, allreduce only at sync points for ``async``) and this
+    scheduler prices them on the cluster's CPU / GPU / PCIe / NIC resources,
+    honoring stage dependencies, depth gating, mode, and the collective
+    rendezvous per comm window.  :func:`simulate_epoch` is a thin wrapper
+    that reconstructs a per-step trace from an :class:`EpochReport`'s
+    records and prices it here.
     """
     if depth < 1:
         raise ValueError(f"depth must be >= 1, got {depth}")
-    K = report.ledger.num_machines
-    steps = report.steps_per_machine
-    by_step: List[List[StepRecord]] = [[] for _ in range(steps)]
-    for rec in report.records:
-        by_step[rec.step].append(rec)
-    for s, recs in enumerate(by_step):
-        recs.sort(key=lambda r: r.machine)
-        if len(recs) != K:
-            raise ValueError(f"step {s} has {len(recs)} records, expected {K}")
+    K = trace.num_machines
+    steps = trace.num_steps
+    idx = trace.validate().index()
+    allreduce_at = set(trace.allreduce_steps)
 
-    # Stage durations.
-    times: List[List[StageTimes]] = []
-    for recs in by_step:
-        served = served_rows_matrix(recs, K)
-        times.append([cost_model.stage_times(recs[k], int(served[k])) for k in range(K)])
+    # A multi-step comm window *is* an in-flight schedule: the engine
+    # really sampled and fetched those steps together, so simulating them
+    # serialized (OFF / BLOCKING_COMM) or with fewer in-flight slots than
+    # the window holds would contradict the trace (and the sample gates
+    # would read release times not yet computed).  Reject instead of
+    # silently producing an optimistic schedule.
+    max_window = max((hi - lo) for lo, hi in trace.windows) if trace.windows else 1
+    if max_window > 1:
+        if mode is not PipelineMode.FULL:
+            raise ValueError(
+                f"trace has {max_window}-step comm windows; only "
+                f"PipelineMode.FULL can price an in-flight schedule "
+                f"(got {mode})"
+            )
+        if depth < max_window:
+            raise ValueError(
+                f"simulated depth {depth} is smaller than the trace's "
+                f"{max_window}-step comm windows; the engine kept "
+                f"{max_window} batches in flight"
+            )
+
+    def dur(stage: Stage, k: int, s: int) -> float:
+        return cost_model.event_duration(idx[(stage, k, s)])
+
     allreduce_dur = cost_model.allreduce_time() if include_allreduce else 0.0
 
-    # Resource availability clocks.  The CPU is modeled as W parallel
-    # batch-preparation lanes per machine (SALIENT runs ~30 shared-memory
-    # sampling/slicing workers; 16 cores sustain several batches in flight).
     workers = max(1, cost_model.cluster.machine.cpu_workers)
     cpu = np.zeros((K, workers))
     gpu = np.zeros(K)
     pcie = np.zeros(K)
-    net = np.zeros(K)       # feature/metadata all-to-alls
-    grad_net = np.zeros(K)  # gradient all-reduce (own NCCL stream/channel)
+    net = np.zeros(K)
+    grad_net = np.zeros(K)
 
-    # Completion times needed across steps.
-    done_train = np.zeros(K)          # TRAIN end of previous step
-    done_allreduce = 0.0              # ALLREDUCE end of previous step
-    release = np.zeros((steps, K))    # pipeline-slot release times
+    done_train = np.zeros(K)
+    done_allreduce = 0.0
+    release = np.zeros((steps, K))
     train_end = np.zeros((steps, K))
+    sample_end = np.zeros((steps, K))
+    local_slice_end = np.zeros((steps, K))
     sync_wait = np.zeros((steps, K))
     first_train_start = None
 
     busy = {name: np.zeros(K) for name in ("cpu", "gpu", "pcie", "net", "grad_net")}
 
-    def run(clock: np.ndarray, k: int, ready: float, dur: float, name: str) -> float:
+    def run(clock: np.ndarray, k: int, ready: float, d: float, name: str) -> float:
         start = max(ready, clock[k])
-        clock[k] = start + dur
-        busy[name][k] += dur
+        clock[k] = start + d
+        busy[name][k] += d
         return clock[k]
 
-    def run_cpu(k: int, ready: float, dur: float) -> float:
+    def run_cpu(k: int, ready: float, d: float) -> float:
         lane = int(np.argmin(cpu[k]))
         start = max(ready, cpu[k, lane])
-        cpu[k, lane] = start + dur
-        busy["cpu"][k] += dur
+        cpu[k, lane] = start + d
+        busy["cpu"][k] += d
         return cpu[k, lane]
 
-    for s in range(steps):
-        st = times[s]
+    for w0, w1 in trace.windows:
+        # --- SAMPLE (CPU) per step: gated by pipeline depth / mode. ---
+        for s in range(w0, w1):
+            for k in range(K):
+                ready = 0.0
+                if s >= depth:
+                    ready = max(ready, release[s - depth, k])
+                if mode is PipelineMode.OFF and s > 0:
+                    ready = max(ready, release[s - 1, k])
+                sample_end[s, k] = run_cpu(k, ready, dur(Stage.SAMPLE, k, s))
 
-        # --- SAMPLE (CPU): gated by the pipeline depth and mode. ---
-        sample_end = np.zeros(K)
-        for k in range(K):
-            ready = 0.0
-            if s >= depth:
-                ready = max(ready, release[s - depth, k])
-            if mode is PipelineMode.OFF and s > 0:
-                ready = max(ready, release[s - 1, k])
-            sample_end[k] = run_cpu(k, ready, st[k].sample)
-
-        # --- REQUEST_EXCHANGE (NET): per-step rendezvous. ---
-        any_comm = any(t.request_exchange > 0 or t.feature_comm > 0 for t in st)
+        # --- REQUEST_EXCHANGE (NET): one rendezvous per comm window. ---
+        req_dur = [dur(Stage.REQUEST_EXCHANGE, k, w0) for k in range(K)]
+        comm_dur = [dur(Stage.FEATURE_COMM, k, w0) for k in range(K)]
+        any_comm = any(rd > 0 or cd > 0 for rd, cd in zip(req_dur, comm_dur))
+        window_sample_end = sample_end[w0:w1]
         if any_comm:
             if mode is PipelineMode.BLOCKING_COMM:
-                # The training loop performs the fetch: it cannot start
-                # before the previous step's training finished anywhere
-                # (bulk-synchronous loop).
                 gate = max(float(done_train.max()), done_allreduce)
             else:
                 gate = 0.0
-            req_ready = max(float(sample_end.max()), gate)
+            req_ready = max(float(window_sample_end.max()), gate)
             req_start = max(req_ready, float(net.max()))
             req_end = np.zeros(K)
             for k in range(K):
-                dur = st[k].request_exchange
-                net[k] = req_start + dur
-                busy["net"][k] += dur
+                net[k] = req_start + req_dur[k]
+                busy["net"][k] += req_dur[k]
                 req_end[k] = net[k]
         else:
-            req_end = sample_end.copy()
+            req_end = window_sample_end.max(axis=0)
 
-        # --- LOCAL_SLICE and SERVE_SLICE (CPU). ---
-        local_slice_end = np.zeros(K)
+        # --- LOCAL_SLICE (per step) and SERVE_SLICE (per window), CPU. ---
         serve_end = np.zeros(K)
+        for s in range(w0, w1):
+            for k in range(K):
+                local_slice_end[s, k] = run_cpu(
+                    k, sample_end[s, k], dur(Stage.LOCAL_SLICE, k, s)
+                )
         for k in range(K):
-            local_slice_end[k] = run_cpu(k, sample_end[k], st[k].local_slice)
-            serve_end[k] = run_cpu(k, req_end[k], st[k].serve_slice)
+            serve_end[k] = run_cpu(k, req_end[k], dur(Stage.SERVE_SLICE, k, w0))
 
         # --- FEATURE_COMM (NET): all-to-all; needs every server's slices. ---
         if any_comm:
@@ -177,68 +196,70 @@ def simulate_epoch(
             comm_start = max(comm_ready, float(net.max()))
             comm_end = np.zeros(K)
             for k in range(K):
-                dur = st[k].feature_comm
-                net[k] = comm_start + dur
-                busy["net"][k] += dur
+                net[k] = comm_start + comm_dur[k]
+                busy["net"][k] += comm_dur[k]
                 comm_end[k] = net[k]
         else:
             comm_end = req_end.copy()
 
-        # --- H2D (PCIe) then GPU_GATHER + TRAIN (GPU). ---
-        for k in range(K):
-            h2d_ready = max(local_slice_end[k], comm_end[k])
-            h2d_end = run(pcie, k, h2d_ready, st[k].h2d, "pcie")
-            gather_end = run(gpu, k, h2d_end, st[k].gpu_gather, "gpu")
-            t_end = run(gpu, k, gather_end, st[k].train, "gpu")
-            train_end[s, k] = t_end
-        if first_train_start is None:
-            first_train_start = float(
-                min(train_end[0, k] - st[k].train for k in range(K))
-            )
-
-        # --- ALLREDUCE: global barrier closing the step, on the gradient
-        # channel (NCCL stream), so it does not serialize feature traffic.
-        # DDP bucketing overlaps the reduction with the backward pass, so it
-        # becomes ready about one-third into training (after the first
-        # buckets of the backward two-thirds are reduced). ---
-        if allreduce_dur > 0 and K > 1:
-            ar_ready = float(max(
-                train_end[s, k] - (2.0 / 3.0) * st[k].train for k in range(K)
-            ))
-            ar_start = max(ar_ready, float(grad_net.max()))
-            ar_end = ar_start + allreduce_dur
+        # --- Per step: H2D (PCIe), GPU_GATHER + TRAIN (GPU), ALLREDUCE. ---
+        for s in range(w0, w1):
+            train_dur = [dur(Stage.TRAIN, k, s) for k in range(K)]
             for k in range(K):
-                grad_net[k] = ar_end
-                busy["grad_net"][k] += allreduce_dur
-                sync_wait[s, k] = max(0.0, ar_end - train_end[s, k])
-            done_allreduce = ar_end
-            release[s] = np.maximum(ar_end, train_end[s])
-        else:
-            release[s] = train_end[s]
-            done_allreduce = float(train_end[s].max())
-        done_train = train_end[s].copy()
+                h2d_ready = max(local_slice_end[s, k], comm_end[k])
+                h2d_end = run(pcie, k, h2d_ready, dur(Stage.H2D, k, s), "pcie")
+                gather_end = run(gpu, k, h2d_end,
+                                 dur(Stage.GPU_GATHER, k, s), "gpu")
+                train_end[s, k] = run(gpu, k, gather_end, train_dur[k], "gpu")
+            if first_train_start is None:
+                first_train_start = float(
+                    min(train_end[0, k] - train_dur[k] for k in range(K))
+                )
+            if s in allreduce_at and allreduce_dur > 0 and K > 1:
+                ar_ready = float(max(
+                    train_end[s, k] - (2.0 / 3.0) * train_dur[k]
+                    for k in range(K)
+                ))
+                ar_start = max(ar_ready, float(grad_net.max()))
+                ar_end = ar_start + allreduce_dur
+                for k in range(K):
+                    grad_net[k] = ar_end
+                    busy["grad_net"][k] += allreduce_dur
+                    sync_wait[s, k] = max(0.0, ar_end - train_end[s, k])
+                done_allreduce = ar_end
+                release[s] = np.maximum(ar_end, train_end[s])
+            else:
+                release[s] = train_end[s]
+                done_allreduce = float(train_end[s].max())
+            done_train = train_end[s].copy()
 
     epoch_time = float(release[-1].max())
 
     # ------------------------------------------------------------------
-    # Figure-8 style attribution (averaged over machines).
-    train_total = float(np.mean([sum(times[s][k].train for s in range(steps))
-                                 for k in range(K)]))
+    # Figure-8 style attribution (averaged over machines), from events.
+    train_total = float(np.mean([
+        sum(dur(Stage.TRAIN, k, s) for s in range(steps)) for k in range(K)
+    ]))
     sync_total = float(np.mean(sync_wait.sum(axis=0)))
     startup = float(first_train_start or 0.0)
-    prep_comp = float(np.mean([sum(times[s][k].preparation_compute()
-                                   + times[s][k].h2d for s in range(steps))
-                               for k in range(K)]))
-    prep_comm = float(np.mean([sum(times[s][k].preparation_comm() for s in range(steps))
-                               for k in range(K)]))
+    prep_comp = float(np.mean([
+        sum(dur(Stage.SAMPLE, k, s) + dur(Stage.LOCAL_SLICE, k, s)
+            + dur(Stage.GPU_GATHER, k, s) + dur(Stage.H2D, k, s)
+            for s in range(steps))
+        + sum(dur(Stage.SERVE_SLICE, k, w0) for w0, _ in trace.windows)
+        for k in range(K)
+    ]))
+    prep_comm = float(np.mean([
+        sum(dur(Stage.REQUEST_EXCHANGE, k, w0) + dur(Stage.FEATURE_COMM, k, w0)
+            for w0, _ in trace.windows)
+        for k in range(K)
+    ]))
     breakdown = {
         "train": train_total,
         "train_sync": sync_total,
         "startup": startup,
         "batch_prep_comp": prep_comp,
         "batch_prep_comm": prep_comm,
-        # Residual: time not attributable to the above when stages overlap
-        # (zero-ish when pipelining is off).
         "overlap_residual": max(
             0.0, epoch_time - (train_total + sync_total + startup)
         ),
@@ -251,3 +272,28 @@ def simulate_epoch(
         resource_busy=busy,
         first_train_start=startup,
     )
+
+
+def simulate_epoch(
+    report: EpochReport,
+    cost_model: CostModel,
+    *,
+    mode: PipelineMode = PipelineMode.FULL,
+    depth: int = 10,
+    include_allreduce: bool = True,
+) -> PipelineResult:
+    """Simulate one epoch from a functional :class:`EpochReport`.
+
+    Returns the epoch makespan (including pipeline warm-up, as the paper's
+    reported runtimes do) and per-category time attribution.
+
+    This is the record-based path: the lock-step BSP schedule is re-derived
+    from :class:`StepRecord` volumes.  Reports produced by an execution
+    engine carry the engine's own schedule (``report.events``), which
+    :func:`simulate_trace` prices directly — identical to this function for
+    per-step traces, and the only correct option for engines that coalesce
+    communication windows or skip allreduce barriers.
+    """
+    trace = trace_from_report(report, cost_model.dims)
+    return simulate_trace(trace, cost_model, mode=mode, depth=depth,
+                          include_allreduce=include_allreduce)

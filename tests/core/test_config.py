@@ -46,6 +46,38 @@ class TestRunConfig:
         assert "no aging" in cfg.describe()
 
 
+class TestEngineConfig:
+    def test_describe_engine_knobs(self):
+        cfg = RunConfig(engine="pipelined", pipeline_depth=4)
+        assert "pipelined(depth=4)" in cfg.describe()
+        cfg = RunConfig(engine="async", staleness=3)
+        assert "async(staleness=3)" in cfg.describe()
+
+    def test_unknown_engine_lists_names(self):
+        with pytest.raises(ValueError) as exc:
+            RunConfig(engine="warp-speed").validate()
+        msg = str(exc.value)
+        assert "unknown execution engine" in msg
+        for name in ("bsp", "pipelined", "async"):
+            assert name in msg
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError, match="staleness"):
+            RunConfig(staleness=-1).validate()
+
+    def test_pipelined_engine_requires_full_pipeline_mode(self):
+        for mode in (PipelineMode.OFF, PipelineMode.BLOCKING_COMM):
+            with pytest.raises(ValueError, match="pipelined engine"):
+                RunConfig(engine="pipelined", pipeline=mode).validate()
+        RunConfig(engine="pipelined", pipeline=PipelineMode.FULL).validate()
+
+    def test_engine_in_trainer_fingerprint_slice(self):
+        from repro.core import STAGE_CONFIG_FIELDS
+
+        for fieldname in ("engine", "pipeline_depth", "staleness"):
+            assert fieldname in STAGE_CONFIG_FIELDS["trainer"]
+
+
 class TestValidate:
     def test_unknown_partitioner_lists_sorted_names(self):
         from repro.partition import PARTITIONERS

@@ -1,0 +1,386 @@
+"""Execution-engine tests: gather plan/execute parity, coalescing, and the
+bsp / pipelined / async schedule semantics.
+
+The anchor is *parity with the seed*: ``execute(plan_gather(...))`` must be
+indistinguishable from the pre-split monolithic ``gather`` (reimplemented
+inline here as the frozen reference), and the ``bsp`` engine must reproduce
+the pre-refactor trainer's :class:`EpochReport` exactly — same losses, same
+volumes, same ledger bytes under the same seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import (
+    ENGINES,
+    DistributedTrainer,
+    FetchPlan,
+    PartitionedFeatureStore,
+    make_engine,
+)
+from repro.distributed.comm import CommLedger, all_reduce_gradients
+from repro.distributed.dynamic_cache import DynamicCacheSpec
+from repro.distributed.feature_store import GatherStats
+from repro.graph.datasets import make_synthetic_dataset
+from repro.nn.functional import cross_entropy
+from repro.partition import metis_like_partition, reorder_dataset
+from repro.pipeline.events import Stage
+from repro.utils.rng import derive_seed
+from repro.vip import CacheContext, VIPAnalyticPolicy, build_caches
+
+
+# ----------------------------------------------------------------------
+# Shared substrate: a dataset big enough for several steps per machine
+# (the tiny fixture yields one step, which cannot exercise coalescing).
+
+@pytest.fixture(scope="module")
+def multi_step_reordered():
+    ds = make_synthetic_dataset(
+        "engine-mini", num_vertices=3000, avg_degree=8.0, feature_dim=16,
+        num_classes=6, num_communities=8, intra_fraction=0.9, power=2.5,
+        train_frac=0.4, seed=3,
+    )
+    part = metis_like_partition(ds.graph, 4, seed=0)
+    return reorder_dataset(ds, part)
+
+
+def make_store(rd, alpha=0.0, gpu_fraction=0.0, dynamic=None):
+    caches = None
+    if alpha > 0:
+        ctx = CacheContext(rd.dataset.graph, rd.partition, rd.dataset.train_idx,
+                           (5, 4), 32, seed=0)
+        caches = build_caches(VIPAnalyticPolicy(), ctx, alpha=alpha)
+    return PartitionedFeatureStore.build(
+        rd, gpu_fraction=gpu_fraction, caches=caches, dynamic=dynamic,
+    )
+
+
+def make_trainer(rd, engine="bsp", seed=0, **kw):
+    store_kw = {k: kw.pop(k) for k in ("alpha", "gpu_fraction", "dynamic")
+                if k in kw}
+    store = make_store(rd, **store_kw)
+    return DistributedTrainer(rd, store, fanouts=(5, 4), batch_size=32,
+                              hidden_dim=16, lr=0.01, seed=seed,
+                              engine=engine, **kw)
+
+
+def reference_gather(store: PartitionedFeatureStore, machine: int,
+                     ids: np.ndarray):
+    """The seed repo's monolithic gather, frozen as the parity reference
+    (classification inline, stats taken before any cache maintenance)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    ms = store.stores[machine]
+    out = np.empty((len(ids), store.feature_dim), dtype=ms.local_features.dtype)
+
+    local_mask = ms.is_local(ids)
+    local_ids = ids[local_mask]
+    out[local_mask] = ms.local_rows(local_ids)
+    gpu_rows = int(np.count_nonzero(local_ids - ms.lo < ms.gpu_rows))
+
+    nonlocal_mask = ~local_mask
+    nl_ids = ids[nonlocal_mask]
+    cached_mask_nl = ms.is_cached(nl_ids)
+    cached_ids = nl_ids[cached_mask_nl]
+    out[np.flatnonzero(nonlocal_mask)[cached_mask_nl]] = ms.cached_rows(cached_ids)
+
+    remote_pos = np.flatnonzero(nonlocal_mask)[~cached_mask_nl]
+    remote_ids = nl_ids[~cached_mask_nl]
+    remote_rows, remote_per_peer = store._fetch_remote_rows(machine, remote_ids)
+    out[remote_pos] = remote_rows
+
+    stats = GatherStats(
+        total_rows=len(ids), gpu_rows=gpu_rows,
+        cpu_rows=len(local_ids) - gpu_rows,
+        cached_rows=len(cached_ids), remote_rows=len(remote_ids),
+        remote_per_peer=remote_per_peer,
+    )
+    if ms.has_dynamic_cache:
+        store._maintain_dynamic_cache(ms, stats, cached_ids, remote_ids, out,
+                                      remote_pos, nl_ids)
+    return out, stats
+
+
+def assert_stats_equal(a: GatherStats, b: GatherStats):
+    assert (a.total_rows, a.gpu_rows, a.cpu_rows, a.cached_rows,
+            a.remote_rows, a.cache_insertions, a.cache_evictions,
+            a.coalesced_rows) == \
+           (b.total_rows, b.gpu_rows, b.cpu_rows, b.cached_rows,
+            b.remote_rows, b.cache_insertions, b.cache_evictions,
+            b.coalesced_rows)
+    assert np.array_equal(a.remote_per_peer, b.remote_per_peer)
+    if a.refresh_fetch_per_peer is None:
+        assert b.refresh_fetch_per_peer is None
+    else:
+        assert np.array_equal(a.refresh_fetch_per_peer, b.refresh_fetch_per_peer)
+
+
+# ----------------------------------------------------------------------
+class TestPlanExecuteParity:
+    """execute(plan_gather(...)) ≡ the seed gather, property-tested."""
+
+    @given(
+        machine=st.integers(0, 3),
+        alpha=st.sampled_from([0.0, 0.1, 0.3]),
+        gpu_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_static_store_parity(self, multi_step_reordered, machine, alpha,
+                                 gpu_fraction, seed):
+        rd = multi_step_reordered
+        store = make_store(rd, alpha=alpha, gpu_fraction=gpu_fraction)
+        rng = np.random.default_rng(seed)
+        n = rd.dataset.num_vertices
+        ids = rng.choice(n, size=rng.integers(1, 400), replace=False)
+        feats, stats = store.execute(store.plan_gather(machine, ids))
+        ref_feats, ref_stats = reference_gather(store, machine, ids)
+        assert np.array_equal(feats, ref_feats)
+        assert np.array_equal(feats, rd.dataset.features[ids])
+        assert_stats_equal(stats, ref_stats)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_dynamic_store_parity(self, multi_step_reordered, seed):
+        """Parity must hold through a *sequence* of gathers on dynamic
+        caches (admissions/evictions change the state between requests)."""
+        rd = multi_step_reordered
+        spec = DynamicCacheSpec(policy="lru", capacity=80)
+        store_a = make_store(rd, alpha=0.1, dynamic=spec)
+        store_b = make_store(rd, alpha=0.1, dynamic=spec)
+        rng = np.random.default_rng(seed)
+        n = rd.dataset.num_vertices
+        for _ in range(4):
+            machine = int(rng.integers(0, 4))
+            ids = rng.choice(n, size=int(rng.integers(1, 300)), replace=False)
+            feats, stats = store_a.execute(store_a.plan_gather(machine, ids))
+            ref_feats, ref_stats = reference_gather(store_b, machine, ids)
+            assert np.array_equal(feats, ref_feats)
+            assert_stats_equal(stats, ref_stats)
+
+    def test_gather_is_plan_execute(self, multi_step_reordered):
+        rd = multi_step_reordered
+        s1, s2 = make_store(rd, alpha=0.2), make_store(rd, alpha=0.2)
+        ids = np.arange(0, rd.dataset.num_vertices, 7)
+        f1, st1 = s1.gather(0, ids)
+        f2, st2 = s2.execute(s2.plan_gather(0, ids))
+        assert np.array_equal(f1, f2)
+        assert_stats_equal(st1, st2)
+
+    def test_plan_is_pure(self, multi_step_reordered):
+        """Planning moves no bytes and never mutates a dynamic cache."""
+        rd = multi_step_reordered
+        store = make_store(rd, alpha=0.1,
+                           dynamic=DynamicCacheSpec(policy="lfu", capacity=100))
+        before = [s.cache_ids.copy() for s in store.stores]
+        for machine in range(4):
+            store.plan_gather(machine, np.arange(0, rd.dataset.num_vertices, 5))
+        for prev, s in zip(before, store.stores):
+            assert np.array_equal(prev, s.cache_ids)
+
+
+class TestCoalescing:
+    @given(
+        machine=st.integers(0, 3),
+        depth=st.integers(2, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_coalesced_features_and_accounting(self, multi_step_reordered,
+                                               machine, depth, seed):
+        rd = multi_step_reordered
+        store = make_store(rd, alpha=0.1)
+        rng = np.random.default_rng(seed)
+        n = rd.dataset.num_vertices
+        id_sets = [rng.choice(n, size=int(rng.integers(50, 300)), replace=False)
+                   for _ in range(depth)]
+        plans = [store.plan_gather(machine, ids) for ids in id_sets]
+        cplan = FetchPlan.coalesce(plans)
+        results = store.execute_coalesced(cplan)
+        unique_remote = len(np.unique(np.concatenate(
+            [p.remote_ids for p in plans])))
+        total_remote = sum(s.remote_rows for _, s in results)
+        total_coalesced = sum(s.coalesced_rows for _, s in results)
+        # Features: bit-identical to direct monolithic indexing.
+        for ids, (feats, _) in zip(id_sets, results):
+            assert np.array_equal(feats, rd.dataset.features[ids])
+        # Accounting: wire rows = deduplicated union; nothing lost.
+        assert total_remote == unique_remote
+        assert total_remote + total_coalesced == sum(
+            len(p.remote_ids) for p in plans)
+        assert cplan.duplicate_rows() == total_coalesced
+        # Per-plan invariants: categories partition the request.
+        for p, (_, s) in zip(plans, results):
+            assert (s.gpu_rows + s.cpu_rows + s.cached_rows + s.remote_rows
+                    + s.coalesced_rows) == s.total_rows == len(p.ids)
+
+    def test_coalesce_rejects_mixed_machines(self, multi_step_reordered):
+        rd = multi_step_reordered
+        store = make_store(rd)
+        ids = np.arange(0, 100)
+        with pytest.raises(ValueError, match="one machine"):
+            FetchPlan.coalesce([store.plan_gather(0, ids),
+                                store.plan_gather(1, ids)])
+        with pytest.raises(ValueError, match="empty"):
+            FetchPlan.coalesce([])
+
+
+# ----------------------------------------------------------------------
+def seed_trainer_epoch(tr: DistributedTrainer, epoch: int):
+    """The pre-refactor trainer loop, frozen as the bsp parity reference
+    (gather, train, all-reduce per step; same seed derivations)."""
+    steps = tr.steps_per_epoch()
+    ledger = CommLedger(tr.num_machines)
+    iterators = [
+        tr.samplers[k].batches(
+            tr.local_train[k], tr.batch_size, drop_last=True, epoch=epoch,
+            seed=derive_seed(tr.seed, "order", k),
+        )
+        for k in range(tr.num_machines)
+    ]
+    losses, volumes = [], []
+    for _step in range(steps):
+        for k in range(tr.num_machines):
+            mfg = next(iterators[k])
+            feats, stats = tr.store.gather(k, mfg.n_id)
+            ledger.record_feature_fetch(k, stats.remote_per_peer,
+                                        tr.store.bytes_per_row)
+            if stats.refresh_fetch_per_peer is not None:
+                ledger.record_feature_fetch(k, stats.refresh_fetch_per_peer,
+                                            tr.store.bytes_per_row)
+            model = tr.models[k]
+            model.train()
+            logits = model(feats, mfg)
+            loss = cross_entropy(logits, tr.ds.labels[mfg.seeds])
+            model.zero_grad()
+            loss.backward()
+            losses.append(loss.item())
+            volumes.append((mfg.num_vertices, stats.remote_rows,
+                            stats.cached_rows))
+        all_reduce_gradients(tr.models, ledger)
+        for opt in tr.optimizers:
+            opt.step()
+    return losses, volumes, ledger
+
+
+class TestBSPParity:
+    @pytest.mark.parametrize("alpha,dynamic", [
+        (0.0, None),
+        (0.2, None),
+        (0.1, DynamicCacheSpec(policy="lru", capacity=100)),
+    ])
+    def test_bsp_matches_seed_trainer(self, multi_step_reordered, alpha, dynamic):
+        """Same seeds → same losses, volumes, and ledger bytes as the
+        pre-refactor lock-step loop."""
+        rd = multi_step_reordered
+        ref = make_trainer(rd, engine="bsp", alpha=alpha, dynamic=dynamic, seed=7)
+        new = make_trainer(rd, engine="bsp", alpha=alpha, dynamic=dynamic, seed=7)
+        for epoch in range(2):
+            ref_losses, ref_vols, ref_ledger = seed_trainer_epoch(ref, epoch)
+            rep = new.train_epoch(epoch)
+            assert [r.loss for r in rep.records] == ref_losses
+            assert [(r.mfg_vertices, r.gather.remote_rows, r.gather.cached_rows)
+                    for r in rep.records] == ref_vols
+            assert np.array_equal(rep.ledger.feature_bytes,
+                                  ref_ledger.feature_bytes)
+            assert np.array_equal(rep.ledger.request_bytes,
+                                  ref_ledger.request_bytes)
+            assert np.array_equal(rep.ledger.gradient_bytes,
+                                  ref_ledger.gradient_bytes)
+            assert rep.mean_loss == pytest.approx(float(np.mean(ref_losses)),
+                                                  abs=0.0)
+
+    def test_bsp_emits_per_step_trace(self, multi_step_reordered):
+        rep = make_trainer(multi_step_reordered).train_epoch(0, dry_run=True)
+        trace = rep.events
+        assert trace is not None and trace.engine == "bsp"
+        assert trace.windows == [(s, s + 1) for s in range(rep.steps_per_machine)]
+        assert trace.allreduce_steps == list(range(rep.steps_per_machine))
+
+
+class TestPipelinedEngine:
+    def test_losses_match_bsp_exactly(self, multi_step_reordered):
+        rd = multi_step_reordered
+        bsp = make_trainer(rd, engine="bsp", alpha=0.1, seed=5)
+        pipe = make_trainer(rd, engine="pipelined", pipeline_depth=4,
+                            alpha=0.1, seed=5)
+        for epoch in range(2):
+            rb, rp = bsp.train_epoch(epoch), pipe.train_epoch(epoch)
+            assert [r.loss for r in rb.records] == [r.loss for r in rp.records]
+            assert rb.mean_loss == rp.mean_loss
+
+    def test_coalescing_reduces_remote_rows(self, multi_step_reordered):
+        rd = multi_step_reordered
+        rb = make_trainer(rd, engine="bsp").train_epoch(0, dry_run=True)
+        rp = make_trainer(rd, engine="pipelined",
+                          pipeline_depth=4).train_epoch(0, dry_run=True)
+        assert rp.total_remote_rows() < rb.total_remote_rows()
+        assert rp.total_coalesced_rows() > 0
+        assert (rp.total_remote_rows() + rp.total_coalesced_rows()
+                == rb.total_remote_rows())
+        assert (rp.ledger.total_feature_bytes()
+                < rb.ledger.total_feature_bytes())
+
+    def test_depth_one_degenerates_to_bsp_volumes(self, multi_step_reordered):
+        rd = multi_step_reordered
+        rb = make_trainer(rd, engine="bsp").train_epoch(0, dry_run=True)
+        rp = make_trainer(rd, engine="pipelined",
+                          pipeline_depth=1).train_epoch(0, dry_run=True)
+        assert rp.total_remote_rows() == rb.total_remote_rows()
+        assert rp.total_coalesced_rows() == 0
+
+    def test_windowed_trace(self, multi_step_reordered):
+        rd = multi_step_reordered
+        rp = make_trainer(rd, engine="pipelined",
+                          pipeline_depth=4).train_epoch(0, dry_run=True)
+        steps = rp.steps_per_machine
+        expected = [(w, min(w + 4, steps)) for w in range(0, steps, 4)]
+        assert rp.events.windows == expected
+
+
+class TestAsyncEngine:
+    def test_loss_decreases_and_resyncs(self, multi_step_reordered):
+        tr = make_trainer(multi_step_reordered, engine="async", staleness=3)
+        reports = tr.train(3)
+        assert reports[-1].mean_loss < reports[0].mean_loss
+        assert tr.models_in_sync()  # epoch end always re-converges
+
+    def test_allreduce_events_thin_out(self, multi_step_reordered):
+        rd = multi_step_reordered
+        ra = make_trainer(rd, engine="async",
+                          staleness=3).train_epoch(0, dry_run=True)
+        rb = make_trainer(rd, engine="bsp").train_epoch(0, dry_run=True)
+        steps = rb.steps_per_machine
+        assert len(rb.events.allreduce_steps) == steps
+        assert len(ra.events.allreduce_steps) < steps
+        assert ra.events.allreduce_steps[-1] == steps - 1
+        n_ar = sum(1 for ev in ra.events.events if ev.stage is Stage.ALLREDUCE)
+        assert n_ar == len(ra.events.allreduce_steps)
+
+    def test_staleness_zero_syncs_every_step(self, multi_step_reordered):
+        ra = make_trainer(multi_step_reordered, engine="async",
+                          staleness=0).train_epoch(0, dry_run=True)
+        assert ra.events.allreduce_steps == list(range(ra.steps_per_machine))
+
+
+class TestEngineRegistry:
+    def test_registered_names(self):
+        assert {"bsp", "pipelined", "async"} <= set(ENGINES.names())
+
+    def test_unknown_engine_raises_with_names(self, multi_step_reordered):
+        with pytest.raises(ValueError, match="bsp"):
+            make_trainer(multi_step_reordered, engine="warp-speed")
+
+    def test_make_engine_routes_knobs(self, multi_step_reordered):
+        tr = make_trainer(multi_step_reordered)
+        eng = make_engine("pipelined", tr, pipeline_depth=7)
+        assert eng.depth == 7
+        eng = make_engine("async", tr, staleness=5)
+        assert eng.staleness == 5
+
+    def test_bad_knobs_raise(self, multi_step_reordered):
+        tr = make_trainer(multi_step_reordered)
+        with pytest.raises(ValueError, match="depth"):
+            make_engine("pipelined", tr, pipeline_depth=0)
+        with pytest.raises(ValueError, match="staleness"):
+            make_engine("async", tr, staleness=-1)

@@ -1,0 +1,160 @@
+"""Unified event path tests: engine-emitted traces price exactly like the
+record-based reconstruction, and windowed/thinned schedules behave."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedTrainer, PartitionedFeatureStore
+from repro.distributed.cluster import ClusterSpec
+from repro.pipeline import (
+    CostModel,
+    ModelDims,
+    PipelineMode,
+    Stage,
+    simulate_epoch,
+    simulate_trace,
+    trace_from_report,
+)
+from repro.pipeline.events import EventTrace
+
+
+@pytest.fixture(scope="module")
+def substrate(request):
+    rd = request.getfixturevalue("tiny_reordered")
+    store = PartitionedFeatureStore.build(rd)
+    tr = DistributedTrainer(rd, store, fanouts=(5, 5), batch_size=16,
+                            hidden_dim=16, seed=0)
+    report = tr.train_epoch(0, dry_run=True)
+    cm = CostModel(
+        cluster=ClusterSpec(num_machines=4),
+        bytes_per_row=store.bytes_per_row,
+        dims=ModelDims(rd.dataset.feature_dim, 16, rd.dataset.num_classes),
+        grad_nbytes=tr.gradient_nbytes(),
+    )
+    return report, cm, tr
+
+
+class TestTraceRecordParity:
+    @pytest.mark.parametrize("mode", list(PipelineMode))
+    @pytest.mark.parametrize("depth", [1, 3, 10])
+    def test_engine_trace_prices_like_records(self, substrate, mode, depth):
+        """The bsp engine's emitted trace must cost exactly what the
+        record-based reconstruction costs, in every mode and depth."""
+        report, cm, _ = substrate
+        rec = simulate_epoch(report, cm, mode=mode, depth=depth)
+        ev = simulate_trace(report.events, cm, mode=mode, depth=depth)
+        assert ev.epoch_time == rec.epoch_time
+        for key in rec.breakdown:
+            assert ev.breakdown[key] == rec.breakdown[key]
+        for res in rec.resource_busy:
+            assert np.array_equal(ev.resource_busy[res],
+                                  rec.resource_busy[res])
+
+    def test_trace_from_report_reconstruction(self, substrate):
+        """A hand-built report (no events) reconstructs the same per-step
+        trace the bsp engine emits."""
+        report, cm, _ = substrate
+        rebuilt = trace_from_report(report, cm.dims)
+        emitted = report.events
+        assert rebuilt.windows == emitted.windows
+        assert rebuilt.allreduce_steps == emitted.allreduce_steps
+        ri, ei = rebuilt.index(), emitted.index()
+        assert set(ri) == set(ei)
+        for key in ri:
+            assert cm.event_duration(ri[key]) == cm.event_duration(ei[key])
+
+    def test_event_durations_match_stage_times(self, substrate):
+        """Per-event pricing agrees with StageTimes field by field."""
+        from repro.pipeline.costmodel import served_rows_matrix
+
+        report, cm, _ = substrate
+        K = report.ledger.num_machines
+        step0 = sorted((r for r in report.records if r.step == 0),
+                       key=lambda r: r.machine)
+        served = served_rows_matrix(step0, K)
+        idx = report.events.index()
+        for k, rec in enumerate(step0):
+            st = cm.stage_times(rec, int(served[k]))
+            pairs = [
+                (Stage.SAMPLE, st.sample), (Stage.LOCAL_SLICE, st.local_slice),
+                (Stage.SERVE_SLICE, st.serve_slice),
+                (Stage.REQUEST_EXCHANGE, st.request_exchange),
+                (Stage.FEATURE_COMM, st.feature_comm), (Stage.H2D, st.h2d),
+                (Stage.GPU_GATHER, st.gpu_gather), (Stage.TRAIN, st.train),
+            ]
+            for stage, expected in pairs:
+                assert cm.event_duration(idx[(stage, k, 0)]) == expected
+
+
+class TestTraceValidation:
+    def test_validate_catches_missing_events(self, substrate):
+        report, cm, _ = substrate
+        trace = report.events
+        broken = EventTrace(
+            engine=trace.engine, num_machines=trace.num_machines,
+            num_steps=trace.num_steps, windows=trace.windows,
+            allreduce_steps=trace.allreduce_steps,
+            events=[ev for ev in trace.events if ev.stage is not Stage.TRAIN],
+        )
+        with pytest.raises(ValueError, match="train"):
+            simulate_trace(broken, cm)
+
+    def test_validate_catches_bad_windows(self, substrate):
+        report, cm, _ = substrate
+        trace = report.events
+        broken = EventTrace(
+            engine=trace.engine, num_machines=trace.num_machines,
+            num_steps=trace.num_steps, windows=[(0, trace.num_steps + 1)],
+            allreduce_steps=trace.allreduce_steps, events=list(trace.events),
+        )
+        with pytest.raises(ValueError, match="tile"):
+            simulate_trace(broken, cm)
+
+    def test_rejects_bad_depth(self, substrate):
+        report, cm, _ = substrate
+        with pytest.raises(ValueError, match="depth"):
+            simulate_trace(report.events, cm, depth=0)
+
+    def test_windowed_trace_rejects_contradictory_schedules(
+            self, substrate, tiny_reordered):
+        """A multi-step comm window encodes an in-flight schedule: pricing
+        it serialized, or with fewer slots than the window holds, must be
+        an error rather than a silently optimistic makespan."""
+        _, cm, _ = substrate
+        store = PartitionedFeatureStore.build(tiny_reordered)
+        tr = DistributedTrainer(tiny_reordered, store, fanouts=(5, 5),
+                                batch_size=8, hidden_dim=16, seed=0,
+                                engine="pipelined", pipeline_depth=3)
+        report = tr.train_epoch(0, dry_run=True)
+        windowed = report.events
+        assert max(hi - lo for lo, hi in windowed.windows) > 1
+        with pytest.raises(ValueError, match="comm windows"):
+            simulate_trace(windowed, cm, mode=PipelineMode.OFF)
+        with pytest.raises(ValueError, match="in flight"):
+            simulate_trace(windowed, cm, depth=1)
+        assert simulate_trace(windowed, cm, depth=3).epoch_time > 0
+
+
+class TestScheduleSemantics:
+    def test_fewer_allreduce_barriers_never_slower(self, substrate):
+        """Dropping allreduce steps from the trace (async's thinning) can
+        only help the makespan."""
+        report, cm, _ = substrate
+        trace = report.events
+        thinned = EventTrace(
+            engine="async", num_machines=trace.num_machines,
+            num_steps=trace.num_steps, windows=trace.windows,
+            allreduce_steps=trace.allreduce_steps[-1:],
+            events=[ev for ev in trace.events
+                    if ev.stage is not Stage.ALLREDUCE
+                    or ev.step == trace.allreduce_steps[-1]],
+        )
+        t_full = simulate_trace(trace, cm).epoch_time
+        t_thin = simulate_trace(thinned, cm).epoch_time
+        assert t_thin <= t_full + 1e-12
+
+    def test_deterministic(self, substrate):
+        report, cm, _ = substrate
+        a = simulate_trace(report.events, cm).epoch_time
+        b = simulate_trace(report.events, cm).epoch_time
+        assert a == b
