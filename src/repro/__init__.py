@@ -29,8 +29,12 @@ __all__ = ["CSRGraph", "GraphDataset", "load_dataset", "__version__"]
 def __getattr__(name):
     # Lazy re-exports of the heavier subsystems keep `import repro` cheap.
     if name in ("ArtifactCache", "Plan", "Planner", "RunConfig", "Salient",
-                "SalientPP", "SystemVariant"):
+                "SalientPP", "ServingConfig", "SystemVariant"):
         import repro.core as _core
 
         return getattr(_core, name)
+    if name == "InferenceService":
+        from repro.serving import InferenceService
+
+        return InferenceService
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,7 +1,12 @@
 """SALIENT / SALIENT++ system layer: configuration, staged preprocessing
 planner, and end-to-end systems."""
 
-from repro.core.config import RunConfig, progressive_variants, table1_alpha
+from repro.core.config import (
+    RunConfig,
+    ServingConfig,
+    progressive_variants,
+    table1_alpha,
+)
 from repro.core.planner import (
     ArtifactCache,
     PREPROCESS_STAGES,
@@ -24,6 +29,7 @@ from repro.core.system import (
 
 __all__ = [
     "RunConfig",
+    "ServingConfig",
     "progressive_variants",
     "table1_alpha",
     "ArtifactCache",

@@ -25,6 +25,77 @@ from repro.pipeline.simulator import PipelineMode
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Online-inference serving knobs (the ``config.serving`` slice).
+
+    Consumed by :class:`repro.serving.InferenceService`; irrelevant to
+    training, so no preprocessing stage fingerprints it — serving sweeps
+    over batchers or SLOs reuse every partition/VIP/cache artifact.
+
+    Attributes
+    ----------
+    batcher:
+        Micro-batching policy name (see :data:`repro.serving.BATCHERS`):
+        ``"fixed-size"`` flushes only full batches, ``"deadline"`` flushes
+        when the oldest queued request has waited ``max_wait_ms``, and
+        ``"cache-affinity"`` is deadline-triggered but packs micro-batches
+        by feature-residency affinity.
+    max_batch:
+        Maximum requests per micro-batch (one MFG per micro-batch).
+    max_wait_ms:
+        Queueing SLO: no request waits longer than this (simulated
+        milliseconds) for its micro-batch to form.  Ignored by
+        ``fixed-size``.
+    max_in_flight:
+        Micro-batches per flush window; the window's fetch plans are
+        coalesced (:meth:`FetchPlan.coalesce`) into one peer exchange.
+    router:
+        Request → machine routing: ``"round-robin"`` or ``"owner"`` (the
+        machine owning the plurality of a request's seeds).
+    fanouts:
+        Inference sampling fanouts; ``None`` reuses the training fanouts.
+    """
+
+    batcher: str = "deadline"
+    max_batch: int = 16
+    max_wait_ms: float = 20.0
+    max_in_flight: int = 4
+    router: str = "round-robin"
+    fanouts: Optional[Tuple[int, ...]] = None
+
+    def validate(self) -> "ServingConfig":
+        """Fail fast on malformed serving knobs; returns ``self``."""
+        from repro.serving.batcher import BATCHERS, ROUTERS
+
+        BATCHERS.get(self.batcher)  # raises with the sorted valid names
+        if self.router not in ROUTERS:
+            raise ValueError(
+                f"unknown router {self.router!r}; valid: {sorted(ROUTERS)}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms <= 0:
+            raise ValueError(
+                f"max_wait_ms must be positive, got {self.max_wait_ms}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.fanouts is not None:
+            if len(self.fanouts) == 0 or any(f < 1 for f in self.fanouts):
+                raise ValueError(
+                    f"serving fanouts must be a non-empty tuple of positive "
+                    f"ints, got {self.fanouts!r}"
+                )
+        return self
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Configuration of one system variant on one cluster.
 
@@ -67,6 +138,10 @@ class RunConfig:
     # both by the simulator's gating and by the "pipelined" engine.
     pipeline: PipelineMode = PipelineMode.FULL
     pipeline_depth: int = 10
+
+    # Online inference serving (consumed by repro.serving.InferenceService;
+    # does not enter any preprocessing-stage fingerprint).
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     # Substrate.
     partitioner: str = "metis"              # see repro.partition.PARTITIONERS
@@ -159,6 +234,7 @@ class RunConfig:
             raise ValueError(
                 f"network_gbps must be positive, got {self.network_gbps}"
             )
+        self.serving.validate()
         return self
 
     def resolve(self, dataset) -> "RunConfig":

@@ -605,6 +605,30 @@ class Planner:
         return self.execute(plan, partition=partition, vip_matrix=vip_matrix,
                             system_cls=system_cls)
 
+    def build_service(
+        self,
+        dataset,
+        config: RunConfig,
+        *,
+        partition: Optional[Partition] = None,
+        vip_matrix: Optional[np.ndarray] = None,
+    ):
+        """Build an :class:`~repro.serving.InferenceService` over the
+        planned substrate.
+
+        The serving substrate *is* a system build (store + model + cost
+        model), so serving runs get the same structural artifact reuse as
+        training sweeps — and because no preprocessing stage lists
+        ``serving`` in its :data:`STAGE_CONFIG_FIELDS`, sweeping batchers /
+        SLO knobs re-keys nothing: partition, VIP, reorder, and
+        cache-selection artifacts are all cache hits.
+        """
+        from repro.serving.service import InferenceService
+
+        system = self.build(dataset, config, partition=partition,
+                            vip_matrix=vip_matrix)
+        return InferenceService.from_system(system)
+
     def execute(
         self,
         plan: Plan,

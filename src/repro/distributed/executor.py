@@ -44,6 +44,31 @@ from repro.sampling.neighbor import NeighborSampler
 from repro.utils.rng import SeedLike, derive_seed
 
 
+def sage_forward_flops(
+    block_sizes: Sequence[Tuple[int, int, int]],
+    in_dim: int,
+    hidden_dim: int,
+    out_dim: int,
+) -> float:
+    """Forward-pass GEMM FLOPs of a SAGE stack over ``(num_src, num_dst,
+    num_edges)`` blocks — the single cost formula both training
+    (:meth:`StepRecord.flops`, at 3x for fwd+bwd) and inference serving
+    (:func:`repro.serving.forward_flops`) price with.
+
+    Per block: two dense (rows × d_in × d_out) products (self + neighbor
+    branches) plus the mean aggregation over sampled edges.
+    """
+    dims = [in_dim] + [hidden_dim] * (len(block_sizes) - 1) + [out_dim]
+    total = 0.0
+    # blocks are stored hop-1-first; layer i consumes block L-1-i.
+    for layer, (_num_src, num_dst, edges) in enumerate(reversed(block_sizes)):
+        d_in, d_out = dims[layer], dims[layer + 1]
+        gemm = 2.0 * num_dst * d_in * d_out * 2  # self + neighbor branch
+        agg = 2.0 * edges * d_in                 # mean aggregation
+        total += gemm + agg
+    return total
+
+
 @dataclass
 class StepRecord:
     """Workload volumes for one machine's minibatch step."""
@@ -59,20 +84,10 @@ class StepRecord:
     loss: Optional[float] = None
 
     def flops(self, in_dim: int, hidden_dim: int, out_dim: int) -> float:
-        """Forward+backward GEMM FLOPs of a SAGE stack on this MFG.
-
-        Per block: two dense (rows × d_in × d_out) products (self + neighbor
-        branches) for forward; backward costs ~2x forward.
-        """
-        dims = [in_dim] + [hidden_dim] * (len(self.block_sizes) - 1) + [out_dim]
-        total = 0.0
-        # blocks are stored hop-1-first; layer i consumes block L-1-i.
-        for layer, (num_src, num_dst, edges) in enumerate(reversed(self.block_sizes)):
-            d_in, d_out = dims[layer], dims[layer + 1]
-            gemm = 2.0 * num_dst * d_in * d_out * 2  # self + neighbor branch
-            agg = 2.0 * edges * d_in                 # mean aggregation
-            total += gemm + agg
-        return 3.0 * total  # fwd + ~2x bwd
+        """Forward+backward GEMM FLOPs of a SAGE stack on this MFG
+        (backward costs ~2x forward)."""
+        return 3.0 * sage_forward_flops(self.block_sizes, in_dim, hidden_dim,
+                                        out_dim)
 
 
 @dataclass

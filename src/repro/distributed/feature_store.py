@@ -478,6 +478,20 @@ class PartitionedFeatureStore:
         """
         return self.execute(self.plan_gather(machine, ids))
 
+    def hit_mask(self, machine: int, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which ``ids`` would ``machine`` serve *without*
+        touching the network right now (local rows or currently cached).
+
+        Read-only — no bytes move and no cache metadata updates, so callers
+        (e.g. the serving cache-affinity batcher) can probe residency
+        cheaply while requests are still queued.  With a dynamic cache the
+        answer describes this instant's contents and may change by the time
+        a gather executes.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        store = self.stores[machine]
+        return store.is_local(ids) | store.is_cached(ids)
+
     def plan_gather(self, machine: int, ids: np.ndarray) -> FetchPlan:
         """Classify ``ids`` into local-GPU / local-CPU / cached / remote.
 

@@ -329,6 +329,12 @@ def streaming_request_stream(
     (trending items, news cycles).  Every ``drift_interval`` batches a fresh
     hot set is drawn, so frequency state built on the old one goes stale.
 
+    **Guarantee**: every yielded batch has *exactly* ``batch_size`` distinct
+    seeds — the cold top-up draws from all candidates outside the hot picks
+    (including not-yet-picked hot ids), so the pool can only run short when
+    ``batch_size > len(candidate_ids)``, which is rejected up front instead
+    of silently yielding an under-sized batch.
+
     Yields ``num_batches`` sorted id arrays.
     """
     if not 0.0 < hot_fraction <= 1.0:
@@ -337,8 +343,15 @@ def streaming_request_stream(
         raise ValueError(f"hot_mass must be in [0, 1], got {hot_mass}")
     if drift_interval <= 0:
         raise ValueError(f"drift_interval must be positive, got {drift_interval}")
-    rng = as_generator(seed)
     cand = np.asarray(candidate_ids, dtype=np.int64)
+    if len(np.unique(cand)) != len(cand):
+        raise ValueError("candidate_ids must be distinct")
+    if batch_size > len(cand):
+        raise ValueError(
+            f"batch_size {batch_size} exceeds the {len(cand)} candidate ids; "
+            f"a batch of distinct seeds that size cannot exist"
+        )
+    rng = as_generator(seed)
     n_hot = max(1, int(round(hot_fraction * len(cand))))
     hot = rng.choice(cand, size=n_hot, replace=False)
     for b in range(num_batches):
@@ -348,9 +361,9 @@ def streaming_request_stream(
         picks = rng.choice(hot, size=n_from_hot, replace=False)
         n_cold = batch_size - n_from_hot
         if n_cold:
-            # Cold picks come from outside the hot picks so the batch keeps
-            # exactly batch_size distinct seeds.
+            # Cold picks come from outside the hot picks (unpicked hot ids
+            # included) so the batch keeps exactly batch_size distinct seeds.
             pool = np.setdiff1d(cand, picks)
-            cold = rng.choice(pool, size=min(n_cold, len(pool)), replace=False)
+            cold = rng.choice(pool, size=n_cold, replace=False)
             picks = np.concatenate([picks, cold])
         yield np.sort(picks)

@@ -187,6 +187,14 @@ class CostModel:
             return ev.volume("flops") / m.gpu_flops
         if stage is Stage.ALLREDUCE:
             return self.allreduce_time()
+        if stage is Stage.CACHE_REFRESH:
+            rows = ev.volume("rows")
+            if rows == 0:
+                return 0.0
+            # A refresh is one background fetch round: id list out, feature
+            # payload back — same wire formulas as the demand stages.
+            return (2 * net.latency + rows * 8 / net.effective_bandwidth
+                    + rows * bpr / net.effective_bandwidth)
         raise ValueError(f"unknown stage {stage!r}")
 
 

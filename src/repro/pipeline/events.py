@@ -41,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 
 class Stage(enum.Enum):
-    """Pipeline stage taxonomy (matches the cost model's)."""
+    """Pipeline stage taxonomy (matches the cost model's).
+
+    ``CACHE_REFRESH`` is serving-only: a dynamic cache's refresh fetch,
+    executed *after* the window's responses are sent (it delays the next
+    window, not the in-flight requests).  Training engines never emit it —
+    their refresh traffic genuinely blocks the epoch loop and is folded
+    into the window's comm volumes instead.
+    """
 
     SAMPLE = "sample"
     REQUEST_EXCHANGE = "request_exchange"
@@ -52,6 +59,7 @@ class Stage(enum.Enum):
     GPU_GATHER = "gpu_gather"
     TRAIN = "train"
     ALLREDUCE = "allreduce"
+    CACHE_REFRESH = "cache_refresh"
 
 
 #: Stages emitted once per (machine, comm window) rather than per step.
@@ -93,6 +101,16 @@ class EventTrace:
     step).  ``allreduce_steps`` lists the steps the engine closed with a
     gradient synchronization — every step for ``bsp``/``pipelined``, only
     the sync points for bounded-staleness ``async``.
+
+    Training engines run *lock-step*: every machine executes every step, so
+    validation demands per-step stages for each (machine, step) pair.  The
+    serving subsystem's schedule is *per-machine*: each step is one
+    micro-batch owned by exactly one machine, and machines progress
+    independently.  Setting ``machine_of_step`` (one owning machine per
+    step) switches validation to that shape — per-step stages are required
+    only on the owning machine, and every step of a comm window must share
+    one owner (a serving flush window is a single machine's coalesced
+    fetch).
     """
 
     engine: str
@@ -101,6 +119,7 @@ class EventTrace:
     windows: List[Tuple[int, int]]
     allreduce_steps: List[int] = field(default_factory=list)
     events: List[StageEvent] = field(default_factory=list)
+    machine_of_step: Optional[List[int]] = None
     _index: Optional[Dict[Tuple["Stage", int, int], StageEvent]] = \
         field(default=None, repr=False, compare=False)
 
@@ -127,23 +146,44 @@ class EventTrace:
 
     def validate(self) -> "EventTrace":
         """Structural checks: windows tile the step range; per-step stages
-        present for every (machine, step); window stages per window."""
+        present for every (machine, step) — or, with ``machine_of_step``
+        set, for each step's owning machine; window stages per window."""
         covered = [s for lo, hi in self.windows for s in range(lo, hi)]
         if covered != list(range(self.num_steps)):
             raise ValueError(
                 f"windows {self.windows} do not tile {self.num_steps} steps"
             )
+        owners = self.machine_of_step
+        if owners is not None:
+            if len(owners) != self.num_steps:
+                raise ValueError(
+                    f"machine_of_step has {len(owners)} entries for "
+                    f"{self.num_steps} steps"
+                )
+            if any(not 0 <= k < self.num_machines for k in owners):
+                raise ValueError("machine_of_step entries out of range")
         idx = self.index()
         per_step = (Stage.SAMPLE, Stage.LOCAL_SLICE, Stage.H2D,
                     Stage.GPU_GATHER, Stage.TRAIN)
         for s in range(self.num_steps):
-            for k in range(self.num_machines):
+            machines = range(self.num_machines) if owners is None else (owners[s],)
+            for k in machines:
                 for st in per_step:
                     if (st, k, s) not in idx:
                         raise ValueError(f"missing {st.value} event for "
                                          f"machine {k}, step {s}")
-        for lo, _hi in self.windows:
-            for k in range(self.num_machines):
+        for lo, hi in self.windows:
+            if owners is None:
+                machines = range(self.num_machines)
+            else:
+                if len(set(owners[lo:hi])) != 1:
+                    raise ValueError(
+                        f"window ({lo}, {hi}) spans machines "
+                        f"{sorted(set(owners[lo:hi]))}; per-machine windows "
+                        f"must have one owner"
+                    )
+                machines = (owners[lo],)
+            for k in machines:
                 for st in WINDOW_STAGES:
                     if (st, k, lo) not in idx:
                         raise ValueError(f"missing {st.value} event for "
@@ -219,16 +259,20 @@ def emit_step_events(trace: EventTrace, rec, served_rows: int, dims,
 
 def emit_window_comm_events(trace: EventTrace, window_start: int, machine: int,
                             request_rows: int, serve_rows: int,
-                            mfg_edges: int = 0) -> None:
+                            mfg_edges: int = 0) -> List[StageEvent]:
     """Emit one machine's coalesced comm stages for a multi-step window.
 
     ``mfg_edges`` is the window total (derived cost models — e.g. the
     DistDGL baseline's remote-sampling RPC term — price it; the base model
-    ignores it).
+    ignores it).  Returns the events just appended, so callers that price
+    them immediately (the serving clock) need not know how many stages a
+    comm window comprises.
     """
+    before = len(trace.events)
     trace.add(Stage.REQUEST_EXCHANGE, machine, window_start,
               request_rows=request_rows, serve_rows=serve_rows,
               mfg_edges=mfg_edges)
     trace.add(Stage.SERVE_SLICE, machine, window_start, rows=serve_rows)
     trace.add(Stage.FEATURE_COMM, machine, window_start,
               in_rows=request_rows, out_rows=serve_rows)
+    return trace.events[before:]

@@ -1,0 +1,167 @@
+"""Serving metrics: the per-request latency ledger and run report.
+
+Latency is *simulated*, not measured: every flush window the service
+executes is emitted as :class:`~repro.pipeline.events.StageEvent`\\ s and
+priced through :meth:`CostModel.event_duration` — the exact pricing path
+the training engines' traces flow through (PR 3's unified event path) — so
+serving latencies are deterministic, machine-independent, and directly
+comparable to simulated training epoch times on the same cluster spec.
+
+The service's latency model is *sequential per machine*: a machine runs one
+flush window at a time (sampling → request exchange → peer serve slice →
+feature payload → per-batch slice/H2D/gather/forward), and a window starts
+at ``max(flush time, machine busy-until)``.  Queueing delay therefore
+emerges from the event clock rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.pipeline.events import EventTrace
+
+
+@dataclass
+class RequestRecord:
+    """One request's simulated lifecycle (all times in seconds).
+
+    ``formed`` is when the batcher flushed the request into a micro-batch
+    (queueing wait ends — the quantity ``max_wait_ms`` bounds), ``started``
+    when its window began executing, ``completed`` when its micro-batch's
+    forward pass finished.
+    """
+
+    rid: int
+    machine: int
+    num_seeds: int
+    arrival: float
+    formed: float
+    started: float
+    completed: float
+
+    @property
+    def queue_wait(self) -> float:
+        return self.formed - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrival
+
+
+@dataclass
+class GatherTotals:
+    """Row-count totals over every gather the service executed."""
+
+    total_rows: int = 0
+    gpu_rows: int = 0
+    cpu_rows: int = 0
+    cached_rows: int = 0
+    remote_rows: int = 0
+    coalesced_rows: int = 0
+    refresh_rows: int = 0
+    cache_insertions: int = 0
+
+    def add(self, stats) -> None:
+        """Accumulate one :class:`GatherStats`."""
+        self.total_rows += stats.total_rows
+        self.gpu_rows += stats.gpu_rows
+        self.cpu_rows += stats.cpu_rows
+        self.cached_rows += stats.cached_rows
+        self.remote_rows += stats.remote_rows
+        self.coalesced_rows += stats.coalesced_rows
+        self.refresh_rows += stats.refresh_fetch_rows
+        self.cache_insertions += stats.cache_insertions
+
+    def comm_rows(self) -> int:
+        """All rows moved over the network (demand + cache updates)."""
+        return self.remote_rows + self.refresh_rows
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of non-local rows served without a demand fetch
+        (cache hits and in-flight coalesced reads)."""
+        hits = self.cached_rows + self.coalesced_rows
+        return hits / max(hits + self.remote_rows, 1)
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`InferenceService.run` produced.
+
+    ``predictions[rid]`` holds one predicted class per requested seed, in
+    the request's seed order.  ``trace`` is the validated per-machine
+    :class:`EventTrace` (``machine_of_step`` set) the latencies were priced
+    from.
+    """
+
+    records: List[RequestRecord]
+    predictions: Dict[int, np.ndarray]
+    trace: EventTrace
+    gather: GatherTotals
+    num_windows: int
+    num_batches: int
+    makespan: float
+    window_durations: List[float] = field(default_factory=list)
+
+    # -- latency --------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.records])
+
+    def latency_percentile(self, p: float) -> float:
+        """Latency percentile in seconds (``p`` in [0, 100])."""
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self.latencies(), p))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def mean_latency(self) -> float:
+        return float(self.latencies().mean()) if self.records else 0.0
+
+    def max_queue_wait(self) -> float:
+        """Worst formation wait — the deadline batcher's SLO quantity."""
+        if not self.records:
+            return 0.0
+        return float(max(r.queue_wait for r in self.records))
+
+    # -- rates ----------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        return self.num_requests / max(self.makespan, 1e-12)
+
+    def mean_batch_requests(self) -> float:
+        """Average requests per micro-batch (batching effectiveness)."""
+        return self.num_requests / max(self.num_batches, 1)
+
+    def comm_rows_per_request(self) -> float:
+        return self.gather.comm_rows() / max(self.num_requests, 1)
+
+    def summary(self) -> Dict[str, float]:
+        """The headline scalars, ready for a results table."""
+        return {
+            "requests": float(self.num_requests),
+            "windows": float(self.num_windows),
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "max_queue_wait_ms": self.max_queue_wait() * 1e3,
+            "throughput_rps": self.throughput_rps(),
+            "comm_rows": float(self.gather.comm_rows()),
+            "cache_hit_rate": self.gather.cache_hit_rate(),
+        }

@@ -1,0 +1,447 @@
+"""The online inference service: SLO-aware micro-batching over the store.
+
+:class:`InferenceService` is the serving-side counterpart of
+:class:`~repro.distributed.executor.DistributedTrainer` — the consumer the
+ROADMAP's "heavy traffic from millions of users" north star has been
+missing.  Each of the K machines runs a request queue, a micro-batching
+policy (:mod:`repro.serving.batcher`), a forward-only L-hop sampler, and
+the shared :class:`~repro.distributed.feature_store.PartitionedFeatureStore`;
+a single discrete-event clock drives all of them:
+
+1. requests *arrive* (open-loop Poisson / trace, or closed-loop clients —
+   see :mod:`repro.serving.workload`) carrying seeds in the caller's
+   **original dataset numbering**; the service translates them once into
+   the reordered (partition-contiguous) id space everything below the API
+   boundary uses, and routes them to a machine's queue;
+2. the machine's batcher *flushes* — on a full batch, at the ``max_wait_ms``
+   deadline, or by cache affinity — producing up to ``max_in_flight``
+   micro-batches that form one **flush window**;
+3. each micro-batch is sampled (one MFG over the union of its requests'
+   seeds — shared seeds expand once), the window's fetch plans are
+   **coalesced** (:meth:`FetchPlan.coalesce`: remote ids needed by several
+   in-flight micro-batches cross the wire once), features are gathered
+   through the store (dynamic caches adapt to the observed traffic), and a
+   forward pass yields one prediction per requested seed;
+4. the window's :class:`~repro.pipeline.events.StageEvent`\\ s are priced
+   by :meth:`CostModel.event_duration` — the same unified event path the
+   training engines feed — giving every request a simulated completion
+   time, and thus the p50/p95/p99 ledger in
+   :class:`~repro.serving.metrics.ServingReport`.
+
+The per-machine latency model is sequential (a machine serves one window
+at a time; windows queue behind ``busy_until``), so queueing delay under
+load emerges from the clock instead of being assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.distributed.executor import _candidate_edges, sage_forward_flops
+from repro.distributed.feature_store import FetchPlan, PartitionedFeatureStore
+from repro.pipeline.costmodel import CostModel
+from repro.pipeline.events import EventTrace, Stage, emit_window_comm_events
+from repro.sampling.mfg import MFG
+from repro.sampling.neighbor import NeighborSampler
+from repro.serving.batcher import MicroBatcher, make_batcher
+from repro.serving.metrics import GatherTotals, RequestRecord, ServingReport
+from repro.serving.workload import ClosedLoopWorkload, Request
+from repro.utils.rng import SeedLike, derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.config import RunConfig, ServingConfig
+    from repro.core.system import SalientPP
+
+#: Event kinds, in tie-break order at equal simulated time.
+_ARRIVE, _TIMER, _COMPLETE = 0, 1, 2
+
+#: Default micro-batches of recently served seeds a machine remembers —
+#: the request-distribution estimate its vip-refresh provider scores
+#: against (shrunk to twice the refresh interval for refreshing caches).
+_RECENT_WINDOW = 50
+
+
+def forward_flops(mfg: MFG, in_dim: int, hidden_dim: int, out_dim: int) -> float:
+    """Forward-pass GEMM FLOPs of a SAGE stack on this MFG — the inference
+    third of :meth:`StepRecord.flops` (no backward), priced with the same
+    shared :func:`sage_forward_flops` formula training uses."""
+    block_sizes = [(b.num_src, b.num_dst, b.num_edges) for b in mfg.blocks]
+    return sage_forward_flops(block_sizes, in_dim, hidden_dim, out_dim)
+
+
+class InferenceService:
+    """SLO-aware online inference over a partitioned feature store.
+
+    Parameters
+    ----------
+    store / model / cost_model:
+        The serving substrate — typically a trained (or freshly built)
+        system's store, first model replica, and cost model (see
+        :meth:`from_system`).
+    serving:
+        The :class:`~repro.core.config.ServingConfig` knobs (batcher,
+        ``max_batch``, ``max_wait_ms``, ``max_in_flight``, router).
+    fanouts:
+        Forward-only sampling fanouts (typically the training fanouts, or
+        ``serving.fanouts`` when inference samples differently).
+    seed:
+        Sampler randomness; one derived stream per machine, so runs are
+        reproducible bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        store: PartitionedFeatureStore,
+        model,
+        cost_model: CostModel,
+        serving: "ServingConfig",
+        *,
+        fanouts: Sequence[int],
+        seed: SeedLike = 0,
+    ):
+        self.store = store
+        self.model = model
+        self.cost_model = cost_model
+        self.spec = serving.validate()
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.graph = store.reordered.dataset.graph
+        self.num_machines = store.num_machines
+        self.samplers = [
+            NeighborSampler(self.graph, self.fanouts,
+                            seed=derive_seed(seed, "serve-sampler", k))
+            for k in range(self.num_machines)
+        ]
+        self.batchers: List[MicroBatcher] = [
+            make_batcher(self.spec.batcher, self.spec, store=store, machine=k)
+            for k in range(self.num_machines)
+        ]
+        dims = cost_model.dims
+        self._dims = (dims.in_dim, dims.hidden_dim, dims.out_dim)
+        self._rr_next = 0  # round-robin routing cursor
+        # Sliding window of recently served seed sets per machine — the
+        # observed request distribution the vip-refresh score provider
+        # re-runs Proposition 1 against (see _request_vip_scores).  The
+        # window tracks the refresh cadence: scoring over much more history
+        # than two refresh periods would blur a drifting hot set.
+        window = _RECENT_WINDOW
+        if store.has_dynamic_caches:
+            spec0 = next(s.cache.spec for s in store.stores
+                         if s.has_dynamic_cache)
+            if spec0.refresh_interval > 0:
+                window = max(4, 2 * spec0.refresh_interval)
+            store.set_refresh_score_provider(self._request_vip_scores)
+        self._recent_seeds: List[deque] = [
+            deque(maxlen=window) for _ in range(self.num_machines)
+        ]
+
+    # ------------------------------------------------------------------
+    def _request_vip_scores(self, machine: int) -> np.ndarray:
+        """Proposition-1 VIP over the machine's *observed request traffic* —
+        the paper's §3 machinery pointed at inference.
+
+        A training-time refresh re-scores against the machine's training
+        set; a serving refresh must instead rank by the probability a
+        vertex lands in the sampled frontier of an *incoming micro-batch*.
+        The initial distribution ``p[0](u)`` is therefore estimated
+        empirically — the fraction of the machine's recent micro-batches
+        whose seed set contained ``u`` — and fed through the same analytic
+        recursion (:func:`vip_probabilities`), so a hot seed appearing in
+        every batch (p0 ≈ 1) outranks a cold one-off (p0 = 1/window) and
+        the whole sampled closure of the hot set is scored, hops the cache
+        never even saw yet included.  Before any traffic is observed the
+        scores are zero and the cost-aware swap planner keeps the
+        warm-start contents.
+        """
+        from repro.vip.analytic import vip_probabilities
+
+        recent = self._recent_seeds[machine]
+        if not recent:
+            return np.zeros(self.graph.num_vertices)
+        counts = np.zeros(self.graph.num_vertices, dtype=np.float64)
+        for seeds in recent:  # seeds are unique within a micro-batch
+            counts[seeds] += 1.0
+        p0 = counts / len(recent)
+        return vip_probabilities(self.graph, p0, self.fanouts).access
+
+    @classmethod
+    def from_system(cls, system: "SalientPP") -> "InferenceService":
+        """Serve from an existing system's store, model, and cost model.
+
+        With a dynamic ``vip-refresh`` cache, constructing the service
+        rewires the store's refresh score provider from training-set VIP
+        (which says nothing about a drifting request hot set) to
+        request-traffic VIP (:meth:`_request_vip_scores`).
+        """
+        config = system.config
+        spec = config.serving
+        return cls(
+            system.store,
+            system.trainer.models[0],
+            system.cost_model,
+            spec,
+            fanouts=spec.fanouts if spec.fanouts is not None else config.fanouts,
+            seed=derive_seed(config.seed, "serving"),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        dataset,
+        config: "RunConfig",
+        *,
+        planner=None,
+        partition=None,
+        vip_matrix=None,
+    ) -> "InferenceService":
+        """Build the serving substrate through the preprocessing planner.
+
+        Identical artifact reuse to :meth:`SalientPP.build`: a shared
+        planner serves partition / VIP / reorder / cache-selection from its
+        cache, and since no preprocessing stage fingerprints the
+        ``serving`` config slice, serving sweeps (batchers, SLOs, routers)
+        recompute nothing.
+        """
+        from repro.core.planner import Planner
+
+        if planner is None:
+            planner = Planner()
+        return planner.build_service(dataset, config, partition=partition,
+                                     vip_matrix=vip_matrix)
+
+    # ------------------------------------------------------------------
+    def _admit(self, request: Request) -> Request:
+        """Translate an arriving request into the internal id space.
+
+        Callers name vertices in the *original* dataset numbering (the only
+        one they know); the store, sampler, and batchers all speak the
+        reordered numbering.  The translated copy is what flows through the
+        service; the caller's object is kept untouched (and is what
+        closed-loop ``on_complete`` receives back), with predictions
+        reported in the caller's seed order.
+        """
+        if request.rid in self._originals:
+            raise ValueError(f"duplicate request id {request.rid}")
+        seeds = np.asarray(request.seeds, dtype=np.int64)
+        n = self.graph.num_vertices
+        if len(seeds) and (seeds.min() < 0 or seeds.max() >= n):
+            raise ValueError(
+                f"request {request.rid} names vertices outside [0, {n})"
+            )
+        self._originals[request.rid] = request
+        return Request(
+            rid=request.rid,
+            seeds=self.store.reordered.new_of_old[seeds],
+            arrival=request.arrival,
+            client=request.client,
+        )
+
+    def _route(self, request: Request) -> int:
+        if self.spec.router == "owner":
+            owners = self.store.reordered.owner_of(request.seeds)
+            return int(np.bincount(owners, minlength=self.num_machines).argmax())
+        machine = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.num_machines
+        return machine
+
+    def _push(self, time: float, kind: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, kind, self._seq, payload))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Union[Sequence[Request], ClosedLoopWorkload],
+    ) -> ServingReport:
+        """Serve ``workload`` to completion; returns the priced report.
+
+        ``workload`` is either a request list (open loop — arrivals are
+        fixed) or a :class:`ClosedLoopWorkload` (each completion issues the
+        client's next request).  Every request is answered: end of stream
+        force-drains the queues, so ``fixed-size`` cannot strand a partial
+        batch.
+        """
+        closed = hasattr(workload, "on_complete")
+        initial = workload.initial() if closed else list(workload)
+
+        self._heap: list = []
+        self._seq = 0
+        self._queues: List[List[Request]] = [[] for _ in range(self.num_machines)]
+        self._timer_at: List[Optional[float]] = [None] * self.num_machines
+        self._busy = [0.0] * self.num_machines
+        self._trace = EventTrace(
+            engine="serving", num_machines=self.num_machines, num_steps=0,
+            windows=[], machine_of_step=[],
+        )
+        self._totals = GatherTotals()
+        self._records: List[RequestRecord] = []
+        self._predictions = {}
+        self._originals = {}
+        self._window_durations: List[float] = []
+
+        for req in initial:
+            self._push(req.arrival, _ARRIVE, req)
+
+        now = 0.0
+        while self._heap:
+            time, kind, _, payload = heapq.heappop(self._heap)
+            now = max(now, time)
+            if kind == _ARRIVE:
+                internal = self._admit(payload)
+                machine = self._route(internal)
+                self._queues[machine].append(internal)
+                self._try_flush(machine, now)
+            elif kind == _TIMER:
+                self._timer_at[payload] = None
+                self._try_flush(payload, now)
+            else:  # _COMPLETE
+                machine, group = payload
+                if closed:
+                    for req in group:
+                        nxt = workload.on_complete(
+                            self._originals[req.rid], now
+                        )
+                        if nxt is not None:
+                            self._push(nxt.arrival, _ARRIVE, nxt)
+            if not self._heap:
+                # No arrival can ever trigger another flush: drain what the
+                # policies are still holding (fixed-size partial batches).
+                for machine in range(self.num_machines):
+                    while self._queues[machine]:
+                        groups = self.batchers[machine].flush(
+                            self._queues[machine], now, force=True
+                        )
+                        if not groups:  # defensive: a policy must drain
+                            raise RuntimeError(
+                                f"batcher {self.spec.batcher!r} refused a "
+                                f"forced flush with requests queued"
+                            )
+                        self._serve_window(machine, groups, now)
+
+        records = sorted(self._records, key=lambda r: r.rid)
+        makespan = 0.0
+        if records:
+            makespan = (max(r.completed for r in records)
+                        - min(r.arrival for r in records))
+        return ServingReport(
+            records=records,
+            predictions=self._predictions,
+            trace=self._trace.validate(),
+            gather=self._totals,
+            num_windows=len(self._window_durations),
+            num_batches=self._trace.num_steps,
+            makespan=makespan,
+            window_durations=self._window_durations,
+        )
+
+    # ------------------------------------------------------------------
+    def _try_flush(self, machine: int, now: float) -> None:
+        """Flush as long as the batcher is due, then arm its deadline."""
+        while True:
+            groups = self.batchers[machine].flush(self._queues[machine], now)
+            if not groups:
+                break
+            self._serve_window(machine, groups, now)
+        deadline = self.batchers[machine].next_deadline(self._queues[machine])
+        if deadline is not None:
+            deadline = max(deadline, now)
+            armed = self._timer_at[machine]
+            if armed is None or deadline < armed - 1e-15:
+                self._push(deadline, _TIMER, machine)
+                self._timer_at[machine] = deadline
+
+    def _serve_window(self, machine: int, groups: List[List[Request]],
+                      now: float) -> None:
+        """Execute one flush window: sample, coalesce, gather, forward.
+
+        Emits the window's stage events (``TRAIN`` carries forward-only
+        FLOPs; the comm events charge the peers' serve slice into this
+        window's critical path, since the requester waits for it) and
+        schedules per-micro-batch completions on the simulated clock.
+        """
+        trace = self._trace
+        step0 = trace.num_steps
+        sampler = self.samplers[machine]
+        mfgs = []
+        for group in groups:
+            seeds = np.unique(np.concatenate([r.seeds for r in group]))
+            mfgs.append(sampler.sample(seeds))
+            self._recent_seeds[machine].append(seeds)
+        plans = [self.store.plan_gather(machine, mfg.n_id) for mfg in mfgs]
+        if len(plans) == 1:
+            results = [self.store.execute(plans[0])]
+        else:
+            results = self.store.execute_coalesced(FetchPlan.coalesce(plans))
+
+        def priced(stage: Stage, step: int, **volumes) -> float:
+            trace.add(stage, machine, step, **volumes)
+            return self.cost_model.event_duration(trace.events[-1])
+
+        sample_time = 0.0
+        compute_times: List[float] = []
+        demand_rows = 0
+        refresh_rows = 0
+        mfg_edges = 0
+        for i, (mfg, (_feats, stats)) in enumerate(zip(mfgs, results)):
+            step = step0 + i
+            self._totals.add(stats)
+            host_rows = stats.cpu_rows + stats.cached_rows + stats.coalesced_rows
+            sample_time += priced(
+                Stage.SAMPLE, step,
+                candidate_edges=_candidate_edges(self.graph.degrees, mfg),
+            )
+            compute = priced(Stage.LOCAL_SLICE, step,
+                             rows=host_rows + stats.cache_insertions)
+            compute += priced(Stage.H2D, step,
+                              rows=host_rows + stats.remote_rows)
+            compute += priced(Stage.GPU_GATHER, step,
+                              gpu_rows=stats.gpu_rows,
+                              total_rows=stats.total_rows)
+            compute += priced(Stage.TRAIN, step,
+                              flops=forward_flops(mfg, *self._dims))
+            compute_times.append(compute)
+            demand_rows += stats.remote_rows
+            refresh_rows += stats.refresh_fetch_rows
+            mfg_edges += mfg.num_edges
+
+        comm_events = emit_window_comm_events(trace, step0, machine,
+                                              demand_rows, demand_rows,
+                                              mfg_edges=mfg_edges)
+        comm_time = sum(self.cost_model.event_duration(ev)
+                        for ev in comm_events)
+        trace.windows.append((step0, step0 + len(groups)))
+        trace.machine_of_step.extend([machine] * len(groups))
+        trace.num_steps += len(groups)
+
+        start = max(now, self._busy[machine])
+        clock = start + sample_time + comm_time
+        for i, group in enumerate(groups):
+            clock += compute_times[i]
+            self._finish_batch(machine, mfgs[i], results[i][0], group,
+                               formed=now, started=start, completed=clock)
+        self._window_durations.append(clock - start)
+        # Cache-refresh fetches run after the responses are out: they hold
+        # the machine (delaying the next window) but not these requests.
+        refresh_time = priced(Stage.CACHE_REFRESH, step0, rows=refresh_rows)
+        self._busy[machine] = clock + refresh_time
+
+    def _finish_batch(self, machine: int, mfg: MFG, feats: np.ndarray,
+                      group: List[Request], *, formed: float, started: float,
+                      completed: float) -> None:
+        """Forward pass → per-seed predictions, records, completion event."""
+        self.model.eval()
+        logits = self.model(feats, mfg)
+        preds = logits.data.argmax(axis=1)
+        for req in group:
+            # mfg.seeds is the sorted unique union of the group's seeds.
+            pos = np.searchsorted(mfg.seeds, req.seeds)
+            self._predictions[req.rid] = preds[pos].copy()
+            self._records.append(RequestRecord(
+                rid=req.rid, machine=machine, num_seeds=req.num_seeds,
+                arrival=req.arrival, formed=formed, started=started,
+                completed=completed,
+            ))
+        self._push(completed, _COMPLETE, (machine, group))

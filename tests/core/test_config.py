@@ -150,3 +150,59 @@ class TestLadder:
         assert table1_alpha(4) == pytest.approx(0.16)
         assert table1_alpha(8) == pytest.approx(0.32)
         assert table1_alpha(16) == pytest.approx(0.32)
+
+
+class TestServingConfig:
+    def test_default_validates(self):
+        from repro.core import ServingConfig
+
+        cfg = ServingConfig()
+        assert cfg.validate() is cfg
+        assert RunConfig().serving is not None
+
+    def test_max_wait_s_converts_ms(self):
+        from repro.core import ServingConfig
+
+        assert ServingConfig(max_wait_ms=250.0).max_wait_s == 0.25
+
+    def test_unknown_batcher_lists_names(self):
+        from repro.core import ServingConfig
+
+        with pytest.raises(ValueError) as exc:
+            ServingConfig(batcher="nagle").validate()
+        assert "micro-batcher" in str(exc.value)
+        assert "deadline" in str(exc.value)
+
+    def test_unknown_router_rejected(self):
+        from repro.core import ServingConfig
+
+        with pytest.raises(ValueError, match="router"):
+            ServingConfig(router="hash").validate()
+
+    @pytest.mark.parametrize("bad", [
+        dict(max_batch=0),
+        dict(max_wait_ms=0.0),
+        dict(max_in_flight=0),
+        dict(fanouts=()),
+        dict(fanouts=(4, 0)),
+    ])
+    def test_out_of_range_serving_fields_raise(self, bad):
+        from repro.core import ServingConfig
+
+        with pytest.raises(ValueError):
+            ServingConfig(**bad).validate()
+
+    def test_run_config_validates_serving_slice(self):
+        from repro.core import ServingConfig
+
+        cfg = RunConfig(serving=ServingConfig(batcher="nagle"))
+        with pytest.raises(ValueError, match="micro-batcher"):
+            cfg.validate()
+
+    def test_serving_absent_from_preprocessing_fingerprints(self):
+        """Serving knobs must not re-key any preprocessing stage, so
+        serving sweeps reuse every artifact."""
+        from repro.core import STAGE_CONFIG_FIELDS
+
+        for stage, fields in STAGE_CONFIG_FIELDS.items():
+            assert "serving" not in fields, stage

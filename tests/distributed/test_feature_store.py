@@ -72,6 +72,76 @@ class TestGatherCorrectness:
         assert stats.remote_rows == len(ids)
 
 
+class TestStatsEdgeCases:
+    """GatherStats / FetchPlan arithmetic on empty and all-cached gathers."""
+
+    def test_empty_gather(self, store_setup):
+        rd, store = store_setup
+        ids = np.empty(0, dtype=np.int64)
+        plan = store.plan_gather(0, ids)
+        assert plan.num_rows == 0
+        feats, stats = store.execute(plan)
+        assert feats.shape == (0, rd.dataset.feature_dim)
+        assert stats.total_rows == 0
+        assert stats.remote_fraction() == 0.0  # no division by zero
+        assert stats.comm_rows() == 0
+        assert stats.refresh_fetch_rows == 0
+        assert stats.remote_per_peer.sum() == 0
+
+    def test_all_cached_gather(self, store_setup):
+        rd, store = store_setup
+        cached_ids = store.stores[0].cache_ids
+        assert len(cached_ids) > 0, "fixture must cache something"
+        plan = store.plan_gather(0, cached_ids)
+        assert plan.num_rows == len(cached_ids)
+        assert len(plan.remote_ids) == 0 and len(plan.local_ids) == 0
+        _, stats = store.execute(plan)
+        assert stats.cached_rows == stats.total_rows == len(cached_ids)
+        assert stats.remote_rows == 0
+        assert stats.remote_fraction() == 0.0
+        assert stats.comm_rows() == 0
+
+    def test_remote_fraction_counts_only_demand(self, store_setup, rng):
+        rd, store = store_setup
+        ids = rng.choice(rd.dataset.num_vertices, 100, replace=False)
+        _, stats = store.gather(0, ids)
+        assert stats.remote_fraction() == stats.remote_rows / stats.total_rows
+        # comm_rows adds refresh traffic on top of demand (zero for static).
+        assert stats.comm_rows() == stats.remote_rows
+
+    def test_plan_num_rows_matches_request(self, store_setup, rng):
+        rd, store = store_setup
+        ids = rng.choice(rd.dataset.num_vertices, 37, replace=False)
+        plan = store.plan_gather(1, ids)
+        assert plan.num_rows == 37
+        assert (len(plan.local_ids) + len(plan.cached_ids)
+                + len(plan.remote_ids)) == 37
+
+
+class TestHitMask:
+    def test_local_and_cached_ids_hit(self, store_setup):
+        rd, store = store_setup
+        lo, hi = rd.part_range(0)
+        local = np.arange(lo, min(lo + 5, hi))
+        assert store.hit_mask(0, local).all()
+        cached = store.stores[0].cache_ids[:5]
+        assert store.hit_mask(0, cached).all()
+
+    def test_uncached_remote_ids_miss(self, store_setup):
+        rd, store = store_setup
+        lo, hi = rd.part_range(0)
+        remote = np.setdiff1d(np.arange(rd.dataset.num_vertices),
+                              np.arange(lo, hi))
+        remote = np.setdiff1d(remote, store.stores[0].cache_ids)[:10]
+        assert not store.hit_mask(0, remote).any()
+
+    def test_read_only(self, store_setup):
+        rd, store = store_setup
+        before = store.stores[0].cache_ids.copy()
+        store.hit_mask(0, np.arange(rd.dataset.num_vertices))
+        assert np.array_equal(store.stores[0].cache_ids, before)
+
+
 class TestBuildValidation:
     def test_rejects_local_vertices_in_cache(self, tiny_reordered):
         rd = tiny_reordered

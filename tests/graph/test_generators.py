@@ -10,6 +10,7 @@ from repro.graph import (
     power_law_community_graph,
     rmat,
     stochastic_block_model,
+    streaming_request_stream,
 )
 
 
@@ -108,3 +109,45 @@ class TestPowerLawCommunity:
         g2, c2 = power_law_community_graph(300, 6.0, 6, seed=9)
         assert g1 == g2
         assert np.array_equal(c1, c2)
+
+
+class TestStreamingRequestStream:
+    def test_exact_batch_size_guarantee(self):
+        """Every batch has exactly batch_size distinct seeds — even when the
+        hot set is tiny and hot_mass pushes most picks into it."""
+        cand = np.arange(60)
+        for seeds in streaming_request_stream(cand, 40, 50, hot_fraction=0.05,
+                                              hot_mass=0.95, seed=0):
+            assert len(seeds) == 50
+            assert len(np.unique(seeds)) == 50
+            assert np.all(np.isin(seeds, cand))
+
+    def test_rejects_oversized_batch(self):
+        """batch_size > |candidates| cannot yield distinct seeds: raise up
+        front instead of silently under-filling."""
+        with pytest.raises(ValueError, match="batch_size"):
+            next(streaming_request_stream(np.arange(10), 1, 11, seed=0))
+
+    def test_full_pool_batch_allowed(self):
+        (seeds,) = streaming_request_stream(np.arange(10), 1, 10, seed=0)
+        assert np.array_equal(seeds, np.arange(10))
+
+    def test_rejects_duplicate_candidates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            next(streaming_request_stream(np.array([1, 1, 2]), 1, 2, seed=0))
+
+    def test_hot_set_drifts(self):
+        """Batches after the drift point concentrate on a fresh hot set."""
+        cand = np.arange(10_000)
+        batches = list(streaming_request_stream(
+            cand, 20, 64, hot_fraction=0.01, hot_mass=1.0,
+            drift_interval=10, seed=4))
+        before = np.unique(np.concatenate(batches[:10]))
+        after = np.unique(np.concatenate(batches[10:]))
+        overlap = len(np.intersect1d(before, after)) / len(after)
+        assert overlap < 0.2
+
+    def test_deterministic(self):
+        a = list(streaming_request_stream(np.arange(100), 5, 8, seed=7))
+        b = list(streaming_request_stream(np.arange(100), 5, 8, seed=7))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))

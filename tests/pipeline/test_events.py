@@ -158,3 +158,70 @@ class TestScheduleSemantics:
         a = simulate_trace(report.events, cm).epoch_time
         b = simulate_trace(report.events, cm).epoch_time
         assert a == b
+
+
+class TestPerMachineTraces:
+    """machine_of_step switches validation to the serving (per-machine)
+    schedule shape: each step owned by one machine, windows single-owner."""
+
+    @staticmethod
+    def _serving_trace(owners, windows):
+        trace = EventTrace(engine="serving", num_machines=2,
+                           num_steps=len(owners), windows=windows,
+                           machine_of_step=list(owners))
+        per_step = (Stage.SAMPLE, Stage.LOCAL_SLICE, Stage.H2D,
+                    Stage.GPU_GATHER, Stage.TRAIN)
+        for s, k in enumerate(owners):
+            for st in per_step:
+                trace.add(st, k, s)
+        for lo, _hi in windows:
+            k = owners[lo]
+            trace.add(Stage.REQUEST_EXCHANGE, k, lo, request_rows=1, serve_rows=1)
+            trace.add(Stage.SERVE_SLICE, k, lo, rows=1)
+            trace.add(Stage.FEATURE_COMM, k, lo, in_rows=1, out_rows=1)
+        return trace
+
+    def test_valid_per_machine_trace(self):
+        trace = self._serving_trace([0, 0, 1], [(0, 2), (2, 3)])
+        assert trace.validate() is trace
+
+    def test_only_owner_events_required(self):
+        """A lock-step validation of the same events would fail (machine 1
+        has no step-0 events); the per-machine one must not."""
+        trace = self._serving_trace([0, 1], [(0, 1), (1, 2)])
+        trace.validate()
+        lockstep = EventTrace(engine="serving", num_machines=2, num_steps=2,
+                              windows=[(0, 1), (1, 2)], events=trace.events)
+        with pytest.raises(ValueError, match="missing"):
+            lockstep.validate()
+
+    def test_window_spanning_machines_rejected(self):
+        trace = self._serving_trace([0, 1], [(0, 2)])
+        with pytest.raises(ValueError, match="one owner"):
+            trace.validate()
+
+    def test_owner_list_length_checked(self):
+        trace = self._serving_trace([0, 0], [(0, 2)])
+        trace.machine_of_step = [0]
+        with pytest.raises(ValueError, match="machine_of_step"):
+            trace.validate()
+
+    def test_owner_out_of_range_rejected(self):
+        trace = self._serving_trace([0, 0], [(0, 2)])
+        trace.machine_of_step = [0, 7]
+        with pytest.raises(ValueError, match="out of range"):
+            trace.validate()
+
+    def test_cache_refresh_stage_priced(self, substrate):
+        """The serving-only CACHE_REFRESH stage prices as one background
+        fetch round (ids out + payload back), zero when empty."""
+        _report, cm, _tr = substrate
+        trace = self._serving_trace([0], [(0, 1)])
+        trace.add(Stage.CACHE_REFRESH, 0, 0, rows=0)
+        assert cm.event_duration(trace.events[-1]) == 0.0
+        trace2 = self._serving_trace([1], [(0, 1)])
+        trace2.add(Stage.CACHE_REFRESH, 1, 0, rows=100)
+        net = cm.cluster.network
+        expected = (2 * net.latency + 100 * 8 / net.effective_bandwidth
+                    + 100 * cm.bytes_per_row / net.effective_bandwidth)
+        assert cm.event_duration(trace2.events[-1]) == pytest.approx(expected)

@@ -1,0 +1,146 @@
+"""Micro-batcher tests: flush triggers, packing, affinity scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core import ServingConfig
+from repro.distributed import PartitionedFeatureStore
+from repro.serving import BATCHERS, Request, make_batcher, one_hop_union
+from repro.serving.batcher import DeadlineBatcher, FixedSizeBatcher
+
+
+SPEC = ServingConfig(batcher="deadline", max_batch=4, max_wait_ms=10.0,
+                     max_in_flight=2)
+
+
+def reqs(n, arrival=0.0, gap=0.0, seed_of=None):
+    return [Request(rid=i, seeds=np.array([seed_of(i) if seed_of else i]),
+                    arrival=arrival + i * gap) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def bound_store(request):
+    rd = request.getfixturevalue("tiny_reordered")
+    return PartitionedFeatureStore.build(rd)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("fixed-size", "deadline", "cache-affinity"):
+            assert name in BATCHERS
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(ValueError, match="micro-batcher"):
+            BATCHERS.get("nagle")
+
+
+class TestFixedSize:
+    def test_waits_for_full_batch(self):
+        b = FixedSizeBatcher(SPEC)
+        queue = reqs(3)
+        assert b.flush(queue, now=100.0) == []
+        assert len(queue) == 3
+        assert b.next_deadline(queue) is None
+
+    def test_flushes_full_batches_only(self):
+        b = FixedSizeBatcher(SPEC)
+        queue = reqs(10)
+        groups = b.flush(queue, now=0.0)
+        assert [len(g) for g in groups] == [4, 4]
+        assert len(queue) == 2  # remainder stays queued
+        assert [r.rid for g in groups for r in g] == list(range(8))
+
+    def test_respects_max_in_flight(self):
+        b = FixedSizeBatcher(SPEC)
+        queue = reqs(20)
+        groups = b.flush(queue, now=0.0)
+        assert len(groups) == SPEC.max_in_flight
+        assert len(queue) == 20 - SPEC.max_in_flight * SPEC.max_batch
+
+    def test_force_drains_partial(self):
+        b = FixedSizeBatcher(SPEC)
+        queue = reqs(3)
+        groups = b.flush(queue, now=0.0, force=True)
+        assert [len(g) for g in groups] == [3]
+        assert queue == []
+
+
+class TestDeadline:
+    def test_not_due_before_deadline(self):
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(2, arrival=1.0)
+        assert b.flush(queue, now=1.0 + 0.5 * SPEC.max_wait_s) == []
+
+    def test_due_at_oldest_deadline(self):
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(2, arrival=1.0)
+        groups = b.flush(queue, now=1.0 + SPEC.max_wait_s)
+        assert [len(g) for g in groups] == [2]
+        assert queue == []
+
+    def test_full_window_triggers_early(self):
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(SPEC.max_batch * SPEC.max_in_flight, arrival=5.0)
+        groups = b.flush(queue, now=5.0)  # no waiting needed
+        assert [len(g) for g in groups] == [4, 4]
+
+    def test_single_full_batch_does_not_trigger(self):
+        """Accumulation up to a whole window is the coalescing payoff."""
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(SPEC.max_batch, arrival=5.0)
+        assert b.flush(queue, now=5.0) == []
+
+    def test_next_deadline_tracks_oldest(self):
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(3, arrival=2.0, gap=0.001)
+        assert b.next_deadline(queue) == pytest.approx(2.0 + SPEC.max_wait_s)
+        assert b.next_deadline([]) is None
+
+    def test_cap_leaves_excess_queued(self):
+        b = DeadlineBatcher(SPEC)
+        queue = reqs(11)
+        groups = b.flush(queue, now=1000.0)
+        assert sum(len(g) for g in groups) == 8
+        assert len(queue) == 3
+
+
+class TestCacheAffinity:
+    def test_one_hop_union_contains_seeds_and_neighbors(self, tiny_graph):
+        seeds = np.array([0, 5])
+        hood = one_hop_union(tiny_graph, seeds)
+        assert np.all(np.isin(seeds, hood))
+        for s in seeds:
+            nbrs = tiny_graph.indices[tiny_graph.indptr[s]:tiny_graph.indptr[s + 1]]
+            assert np.all(np.isin(nbrs, hood))
+
+    def test_unbound_batcher_raises(self):
+        batcher = BATCHERS.get("cache-affinity")(SPEC)
+        with pytest.raises(RuntimeError, match="bind"):
+            batcher.affinity(Request(rid=0, seeds=np.array([0]), arrival=0.0))
+
+    def test_local_requests_score_higher(self, bound_store, tiny_reordered):
+        batcher = make_batcher("cache-affinity", SPEC, store=bound_store,
+                               machine=0)
+        lo, hi = tiny_reordered.part_range(0)
+        local = Request(rid=0, seeds=np.arange(lo, lo + 4), arrival=0.0)
+        lo1, _ = tiny_reordered.part_range(1)
+        remote = Request(rid=1, seeds=np.arange(lo1, lo1 + 4), arrival=0.0)
+        assert batcher.affinity(local) > batcher.affinity(remote)
+
+    def test_packs_by_affinity_order(self, bound_store, tiny_reordered):
+        batcher = make_batcher("cache-affinity", SPEC, store=bound_store,
+                               machine=0)
+        lo, hi = tiny_reordered.part_range(0)
+        lo1, _ = tiny_reordered.part_range(1)
+        # Interleave local (high-affinity) and remote (low-affinity) requests.
+        queue = []
+        for i in range(8):
+            base = lo if i % 2 == 0 else lo1
+            queue.append(Request(rid=i, seeds=np.array([base + i]), arrival=0.0))
+        groups = batcher.flush(queue, now=1000.0)
+        assert [len(g) for g in groups] == [4, 4]
+        scores = [np.mean([batcher.affinity(r) for r in g]) for g in groups]
+        assert scores[0] >= scores[1]
+        # Local-partition requests are concentrated in the first group.
+        first_rids = {r.rid for r in groups[0]}
+        assert first_rids == {0, 2, 4, 6}
