@@ -1,0 +1,364 @@
+"""Perf-regression harness: times the system's hot paths, writes BENCH_PERF.json.
+
+Every tracked stage measures *wall time of real work* on the standard
+synthetic datasets — no simulated clocks — and reports::
+
+    stage -> {"wall_s": ..., "rows_per_s": ..., "speedup_vs_dense": ...}
+
+``speedup_vs_dense`` compares against the seed (dense / allocating)
+implementation where one is kept: Proposition-1 VIP against
+``partitionwise_vip_dense``, the serving vip-refresh recomputation against
+``vip_probabilities_dense``, ``gather_into`` against the allocating
+``execute``, and the rewritten ``FetchPlan.coalesce`` against the seed's
+searchsorted-per-plan bookkeeping.  ``null`` where no dense counterpart
+exists.
+
+Tracked stages
+--------------
+``preprocess.partition / vip / reorder / cache_select / store_build``
+    The §4.1–4.2 preprocessing pipeline on papers-mini, 8 partitions.
+    ``preprocess.vip`` is the headline: active-set Proposition 1 with the
+    shared transition cache versus the dense per-partition recursions,
+    asserted bit-identical before timing is reported.
+``train.epoch_<engine>``
+    One dry-run functional epoch per execution engine (sampling + gather +
+    event emission; no model math), rows/s = gathered feature rows.
+``serving.latency``
+    An open-loop Poisson serving run (deadline batcher, static VIP cache);
+    extra keys carry the simulated p50/p99 for context.
+``serving.cache_refresh``
+    Wall time the vip-refresh score provider (request-VIP through
+    Proposition 1) spends recomputing during a drifting serving run — the
+    CACHE_REFRESH stage cost — with the dense-recursion equivalent timed on
+    the same observed traffic for the speedup.
+``gather.into``
+    Arena-backed ``gather_into`` against the allocating ``execute`` on
+    identical id streams.
+``coalesce.depth16``
+    ``FetchPlan.coalesce`` at depth 16 (the satellite's depth ≥ 10 regime)
+    against the seed bookkeeping.
+
+Run ``python benchmarks/perf/run.py`` (see ``--help``) to produce
+``BENCH_PERF.json`` at the repo root; the CI ``perf-smoke`` job uploads it
+and fails on > 2x wall-time regression of any stage versus
+``benchmarks/perf/baselines.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Planner, RunConfig, ServingConfig
+from repro.distributed import FetchPlan, GatherArena
+from repro.graph import load_dataset
+from repro.serving import poisson_requests
+from repro.vip import (
+    partitionwise_vip,
+    partitionwise_vip_dense,
+    vip_probabilities,
+    vip_probabilities_dense,
+)
+
+DATASET = "papers-mini"
+K = 8
+SERVE_K = 4
+SERVE_ALPHA = 0.05
+SERVE_REFRESH_INTERVAL = 8
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _best_of(fn, repeats=3):
+    best, out = _timed(fn)
+    for _ in range(repeats - 1):
+        t, out = _timed(fn)
+        best = min(best, t)
+    return best, out
+
+
+def _entry(wall_s, rows=None, dense_wall_s=None, **extra):
+    entry = {
+        "wall_s": round(wall_s, 6),
+        "rows_per_s": None if rows is None else round(rows / max(wall_s, 1e-12), 2),
+        "speedup_vs_dense": (None if dense_wall_s is None
+                             else round(dense_wall_s / max(wall_s, 1e-12), 3)),
+    }
+    if dense_wall_s is not None:
+        entry["dense_wall_s"] = round(dense_wall_s, 6)
+    entry.update(extra)
+    return entry
+
+
+# ----------------------------------------------------------------------
+def preprocessing_stages(stages: dict, *, dataset=None) -> None:
+    """partition -> vip (vs dense, bit-identical) -> reorder ->
+    cache-select -> store build, on papers-mini with 8 partitions."""
+    from repro.core import make_partition
+    from repro.distributed import PartitionedFeatureStore
+    from repro.partition import reorder_dataset
+    from repro.vip import CacheContext, VIPAnalyticPolicy, build_caches
+
+    ds = dataset if dataset is not None else load_dataset(DATASET)
+    cfg = RunConfig(num_machines=K).resolve(ds)
+    n = ds.num_vertices
+
+    wall, part = _timed(lambda: make_partition(ds, cfg))
+    stages["preprocess.partition"] = _entry(wall, rows=n)
+
+    # Best of two runs on both sides: the second active run measures the
+    # steady state every real consumer sees (the K partition rows — and any
+    # later refresh — share one warm TransitionTable per graph).
+    dense_wall, vip_dense = _best_of(lambda: partitionwise_vip_dense(
+        ds.graph, part, ds.train_idx, cfg.fanouts, cfg.batch_size), repeats=2)
+    wall, vip = _best_of(lambda: partitionwise_vip(
+        ds.graph, part, ds.train_idx, cfg.fanouts, cfg.batch_size), repeats=2)
+    if not np.array_equal(vip, vip_dense):
+        raise AssertionError(
+            "active-set partitionwise_vip diverged from the dense baseline"
+        )
+    stages["preprocess.vip"] = _entry(wall, rows=K * n,
+                                      dense_wall_s=dense_wall,
+                                      bit_identical=True)
+
+    score = np.zeros(n)
+    for k in range(K):
+        mask = part.assignment == k
+        score[mask] = vip[k][mask]
+    wall, reordered = _timed(
+        lambda: reorder_dataset(ds, part, within_part_score=score))
+    stages["preprocess.reorder"] = _entry(wall, rows=n)
+
+    ctx = CacheContext(reordered.dataset.graph, reordered.partition,
+                       reordered.dataset.train_idx, cfg.fanouts,
+                       cfg.batch_size, seed=0)
+    wall, caches = _timed(
+        lambda: build_caches(VIPAnalyticPolicy(), ctx, alpha=0.1))
+    stages["preprocess.cache_select"] = _entry(
+        wall, rows=sum(len(c) for c in caches))
+
+    wall, _store = _timed(lambda: PartitionedFeatureStore.build(
+        reordered, gpu_fraction=0.5, caches=caches))
+    stages["preprocess.store_build"] = _entry(wall, rows=n)
+    return reordered
+
+
+# ----------------------------------------------------------------------
+def engine_stages(stages: dict, *, engines=("bsp", "pipelined", "async"),
+                  dataset=None) -> None:
+    """One dry-run epoch per engine: sampling + (coalesced) gathers +
+    events, priced by gathered rows per wall second."""
+    ds = dataset if dataset is not None else load_dataset(DATASET)
+    planner = Planner()
+    for engine in engines:
+        cfg = RunConfig(num_machines=K, replication_factor=0.1,
+                        cache_policy="vip", engine=engine,
+                        pipeline_depth=6, staleness=2, seed=0)
+        system = planner.build(ds, cfg)
+        wall, result = _timed(
+            lambda system=system: system.train_epoch(0, dry_run=True))
+        rows = sum(r.gather.total_rows for r in result.report.records)
+        stages[f"train.epoch_{engine}"] = _entry(wall, rows=rows)
+
+
+# ----------------------------------------------------------------------
+def _serving_config(cache_policy: str) -> RunConfig:
+    return RunConfig(
+        num_machines=SERVE_K, partitioner="random", fanouts=(5, 4, 3),
+        batch_size=32, replication_factor=SERVE_ALPHA,
+        cache_policy=cache_policy, refresh_interval=SERVE_REFRESH_INTERVAL,
+        cache_aging_interval=16, network_gbps=0.5, seed=0,
+        serving=ServingConfig(batcher="deadline", max_batch=8,
+                              max_wait_ms=15.0, max_in_flight=4),
+    )
+
+
+def _serving_requests(ds, num_requests):
+    return poisson_requests(
+        np.arange(ds.num_vertices), num_requests, 8, rate_rps=8_000.0,
+        hot_fraction=0.001, hot_mass=0.95,
+        drift_interval=max(num_requests // 4, 1), seed=11,
+    )
+
+
+def serving_stages(stages: dict, *, num_requests=1_200, dataset=None) -> None:
+    """An open-loop serving run (latency stage), then an instrumented
+    vip-refresh run isolating the CACHE_REFRESH recomputation cost."""
+    ds = dataset if dataset is not None else load_dataset(DATASET)
+    planner = Planner()
+
+    # -- serving.latency: static VIP cache, no refresh machinery. -------
+    service = planner.build_service(ds, _serving_config("vip"))
+    wall, report = _timed(
+        lambda: service.run(_serving_requests(ds, num_requests)))
+    summary = report.summary()
+    stages["serving.latency"] = _entry(
+        wall, rows=report.gather.total_rows,
+        p50_ms=round(summary["p50_ms"], 3), p99_ms=round(summary["p99_ms"], 3),
+        comm_rows=int(report.gather.comm_rows()),
+    )
+
+    # -- serving.cache_refresh: time the refresh-score provider. --------
+    service = planner.build_service(ds, _serving_config("vip-refresh"))
+    provider = service.store._refresh_score_fn
+    refresh_walls = []
+
+    def timed_provider(machine: int) -> np.ndarray:
+        t0 = time.perf_counter()
+        scores = provider(machine)
+        refresh_walls.append(time.perf_counter() - t0)
+        return scores
+
+    service.store.set_refresh_score_provider(timed_provider)
+    service.run(_serving_requests(ds, num_requests))
+    if not refresh_walls:
+        raise AssertionError("no vip-refresh recomputation was triggered")
+
+    # Dense counterpart on the same observed traffic: rebuild the request
+    # p0 exactly as InferenceService._request_vip_scores does and run the
+    # seed recursion on it.
+    graph = service.graph
+    machine = int(np.argmax([len(r) for r in service._recent_seeds]))
+    recent = service._recent_seeds[machine]
+    counts = np.zeros(graph.num_vertices, dtype=np.float64)
+    for seeds in recent:
+        counts[seeds] += 1.0
+    p0 = counts / max(len(recent), 1)
+    active_wall, res_a = _best_of(
+        lambda: vip_probabilities(graph, p0, service.fanouts))
+    dense_wall, res_d = _best_of(
+        lambda: vip_probabilities_dense(graph, p0, service.fanouts))
+    if not np.array_equal(res_a.access, res_d.access):
+        raise AssertionError("request-VIP refresh scores diverged from dense")
+    total_wall = sum(refresh_walls)
+    # The speedup is measured per call on the same observed p0 (active vs
+    # seed recursion); the reported dense wall scales the run's actual
+    # refresh time by that per-call ratio.
+    stages["serving.cache_refresh"] = _entry(
+        total_wall, rows=len(refresh_walls) * graph.num_vertices,
+        dense_wall_s=total_wall * dense_wall / max(active_wall, 1e-12),
+        refresh_calls=len(refresh_walls),
+        per_call_wall_s=round(total_wall / len(refresh_walls), 6),
+        per_call_dense_wall_s=round(dense_wall, 6),
+    )
+
+
+# ----------------------------------------------------------------------
+def _gather_substrate(dataset=None, reordered=None):
+    from repro.core import make_partition
+    from repro.distributed import PartitionedFeatureStore
+    from repro.partition import reorder_dataset
+
+    if reordered is None:
+        ds = dataset if dataset is not None else load_dataset(DATASET)
+        cfg = RunConfig(num_machines=SERVE_K).resolve(ds)
+        reordered = reorder_dataset(ds, make_partition(ds, cfg))
+    return PartitionedFeatureStore.build(reordered, gpu_fraction=0.5)
+
+
+def gather_stages(stages: dict, *, dataset=None, reordered=None, rounds=60,
+                  ids_per_round=4_096) -> None:
+    """Arena-backed gather_into vs the allocating execute on one store."""
+    store = _gather_substrate(dataset, reordered)
+    machines = store.num_machines
+    n = store.reordered.dataset.num_vertices
+    rng = np.random.default_rng(0)
+    id_sets = [np.sort(rng.choice(n, ids_per_round, replace=False))
+               for _ in range(rounds)]
+
+    def allocating():
+        for i, ids in enumerate(id_sets):
+            store.execute(store.plan_gather(i % machines, ids))
+
+    def arena_backed():
+        arena = GatherArena()
+        for i, ids in enumerate(id_sets):
+            machine = i % machines
+            out = arena.out(machine, len(ids), store.feature_dim,
+                            store.stores[machine].local_features.dtype)
+            store.gather_into(machine, ids, out)
+
+    dense_wall, _ = _best_of(allocating, repeats=3)
+    wall, _ = _best_of(arena_backed, repeats=3)
+
+    # The arena's payoff is allocation elimination (wall time is copy-bound
+    # at this row scale): trace one steady-state gather each way — the
+    # arena path's allocations must not include the output matrix.
+    import tracemalloc
+
+    def _alloc_mb(fn):
+        tracemalloc.start()
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak / 1e6
+
+    warm_arena = GatherArena()
+    ids0 = id_sets[0]
+    dtype0 = store.stores[0].local_features.dtype
+    out0 = warm_arena.out(0, len(ids0), store.feature_dim, dtype0)
+    store.gather_into(0, ids0, out0)  # warm the arena buffer
+    dense_alloc = _alloc_mb(lambda: store.execute(store.plan_gather(0, ids0)))
+    arena_alloc = _alloc_mb(lambda: store.gather_into(
+        0, ids0, warm_arena.out(0, len(ids0), store.feature_dim, dtype0)))
+    stages["gather.into"] = _entry(wall, rows=rounds * ids_per_round,
+                                   dense_wall_s=dense_wall,
+                                   step_alloc_mb=round(arena_alloc, 3),
+                                   dense_step_alloc_mb=round(dense_alloc, 3))
+
+
+def coalesce_stages(stages: dict, *, dataset=None, reordered=None, depth=16,
+                    ids_per_plan=4_096, repeats=5) -> None:
+    """FetchPlan.coalesce (single unique-with-inverse pass) vs the seed's
+    per-plan searchsorted bookkeeping, at the depth >= 10 regime."""
+    store = _gather_substrate(dataset, reordered)
+    n = store.reordered.dataset.num_vertices
+    rng = np.random.default_rng(1)
+    plans = [store.plan_gather(0, np.sort(rng.choice(
+        n, ids_per_plan, replace=False)))
+        for _ in range(depth)]
+
+    def seed_coalesce():
+        unique_remote = np.unique(
+            np.concatenate([p.remote_ids for p in plans]))
+        seen = np.zeros(len(unique_remote), dtype=bool)
+        first_request = []
+        for p in plans:
+            slots = np.searchsorted(unique_remote, p.remote_ids)
+            fresh = ~seen[slots]
+            seen[slots] = True
+            first_request.append(fresh)
+        return unique_remote, first_request
+
+    dense_wall, (ref_unique, ref_fresh) = _best_of(seed_coalesce, repeats)
+    wall, cplan = _best_of(lambda: FetchPlan.coalesce(plans), repeats)
+    if not np.array_equal(cplan.unique_remote_ids, ref_unique):
+        raise AssertionError("coalesce rewrite changed the remote pool")
+    for fresh, want in zip(cplan.first_request, ref_fresh):
+        if not np.array_equal(fresh, want):
+            raise AssertionError("coalesce rewrite changed fetch attribution")
+    stages[f"coalesce.depth{depth}"] = _entry(
+        wall, rows=sum(len(p.remote_ids) for p in plans),
+        dense_wall_s=dense_wall, depth=depth)
+
+
+# ----------------------------------------------------------------------
+def run_all(*, num_requests=1_200, engines=("bsp", "pipelined", "async")) -> dict:
+    """Run every tracked stage; returns the BENCH_PERF document."""
+    stages: dict = {}
+    dataset = load_dataset(DATASET)
+    reordered = preprocessing_stages(stages, dataset=dataset)
+    engine_stages(stages, engines=engines, dataset=dataset)
+    serving_stages(stages, num_requests=num_requests, dataset=dataset)
+    gather_stages(stages, reordered=reordered)
+    coalesce_stages(stages, reordered=reordered)
+    return {
+        "schema": 1,
+        "dataset": DATASET,
+        "num_machines": K,
+        "generated_by": "benchmarks/perf/run.py",
+        "stages": stages,
+    }

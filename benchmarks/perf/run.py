@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Run the perf-regression harness and write BENCH_PERF.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py                 # full run
+    PYTHONPATH=src python benchmarks/perf/run.py --check \\
+        benchmarks/perf/baselines.json                           # CI gate
+
+Writes the machine-readable stage table (``stage -> {wall_s, rows_per_s,
+speedup_vs_dense}``) to ``BENCH_PERF.json`` at the repo root by default.
+With ``--check``, every tracked stage's wall time is compared against the
+committed baseline and the process exits non-zero if any stage regressed by
+more than the baseline file's ``max_regression`` factor (generous, to ride
+out CI-runner variance) — or if a tracked speedup fell below its floor.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+_REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+import harness  # noqa: E402  (sibling module; resolved via the path insert)
+
+
+def check_against_baselines(doc: dict, baselines: dict) -> list:
+    """Return a list of human-readable violations (empty = pass)."""
+    failures = []
+    max_regression = float(baselines.get("max_regression", 2.0))
+    for stage, base in baselines.get("stages", {}).items():
+        got = doc["stages"].get(stage)
+        if got is None:
+            failures.append(f"{stage}: missing from this run")
+            continue
+        # Millisecond-scale stages carry no wall_s baseline: shared-runner
+        # noise dwarfs them, so only their speedup floors are gated.
+        if "wall_s" in base:
+            limit = float(base["wall_s"]) * max_regression
+            if got["wall_s"] > limit:
+                failures.append(
+                    f"{stage}: wall_s {got['wall_s']:.4f} > {limit:.4f} "
+                    f"(baseline {base['wall_s']} x {max_regression})"
+                )
+        floor = base.get("min_speedup_vs_dense")
+        if floor is not None:
+            speedup = got.get("speedup_vs_dense")
+            if speedup is None or speedup < float(floor):
+                failures.append(
+                    f"{stage}: speedup_vs_dense {speedup} < floor {floor}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=os.path.join(_REPO_ROOT,
+                                                      "BENCH_PERF.json"),
+                        help="output path (default: <repo>/BENCH_PERF.json)")
+    parser.add_argument("--check", metavar="BASELINES.json", default=None,
+                        help="fail on regression vs this baseline file")
+    parser.add_argument("--requests", type=int, default=1_200,
+                        help="serving-stage request count")
+    parser.add_argument("--engines", default="bsp,pipelined,async",
+                        help="comma-separated engine list for epoch stages")
+    args = parser.parse_args(argv)
+
+    doc = harness.run_all(num_requests=args.requests,
+                          engines=tuple(e for e in args.engines.split(",") if e))
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    width = max(len(s) for s in doc["stages"])
+    for stage, entry in sorted(doc["stages"].items()):
+        speedup = entry.get("speedup_vs_dense")
+        speedup = f"  {speedup:>6.2f}x vs dense" if speedup else ""
+        print(f"  {stage:<{width}}  {entry['wall_s']*1e3:>10.2f} ms{speedup}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baselines = json.load(fh)
+        failures = check_against_baselines(doc, baselines)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"all {len(baselines.get('stages', {}))} tracked stages "
+              f"within {baselines.get('max_regression', 2.0)}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

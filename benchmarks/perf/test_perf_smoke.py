@@ -1,0 +1,74 @@
+"""Smoke coverage for the perf harness: the headline speedups are real.
+
+The full harness (``benchmarks/perf/run.py``) times every tracked stage and
+is gated in CI against ``baselines.json``.  This pytest wrapper runs the
+cheap, high-signal subset inside the regular suite so a regression that
+erases the active-set / coalesce wins fails fast, with CI-safe floors
+(absolute walls vary by runner; the *ratios* are stable):
+
+* ``partitionwise_vip`` must stay bit-identical to the dense baseline and
+  at least 2.5x faster on the papers-mini 8-partition config (measured
+  locally at ~3.5-4x; the committed BENCH_PERF.json records the headline).
+* ``FetchPlan.coalesce`` at depth 16 must beat the seed bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+import harness
+from repro.core import RunConfig
+from repro.graph.datasets import make_synthetic_dataset
+from repro.vip import partitionwise_vip, partitionwise_vip_dense
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_synthetic_dataset(
+        "perf-smoke-mini", num_vertices=6_000, avg_degree=10.0,
+        feature_dim=16, num_classes=6, num_communities=8,
+        intra_fraction=0.9, power=2.6, train_frac=0.3, seed=2,
+    )
+
+
+@pytest.mark.benchmark(group="perf_smoke")
+def test_vip_active_set_speedup(benchmark, artifacts):
+    ds = artifacts.dataset(harness.DATASET)
+    cfg = RunConfig(num_machines=harness.K).resolve(ds)
+    part = artifacts.partition(harness.DATASET, harness.K)
+
+    dense_wall, vip_dense = harness._best_of(
+        lambda: partitionwise_vip_dense(ds.graph, part, ds.train_idx,
+                                        cfg.fanouts, cfg.batch_size),
+        repeats=2)
+    wall, vip = harness._best_of(
+        lambda: partitionwise_vip(ds.graph, part, ds.train_idx,
+                                  cfg.fanouts, cfg.batch_size),
+        repeats=2)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["dense_s"] = round(dense_wall, 4)
+    benchmark.extra_info["active_s"] = round(wall, 4)
+
+    assert np.array_equal(vip, vip_dense)  # bit-identical, always
+    assert dense_wall / wall >= 2.5, (
+        f"active-set VIP speedup collapsed: {dense_wall / wall:.2f}x "
+        f"(dense {dense_wall:.3f}s vs active {wall:.3f}s)"
+    )
+
+
+def test_coalesce_rewrite_wins_at_depth(small_dataset):
+    stages = {}
+    harness.coalesce_stages(stages, dataset=small_dataset, depth=16,
+                            ids_per_plan=2_048)
+    entry = stages["coalesce.depth16"]
+    assert entry["speedup_vs_dense"] > 1.0, entry
+
+
+def test_harness_entry_schema(small_dataset):
+    """Every entry carries the documented keys with sane values."""
+    stages = {}
+    harness.gather_stages(stages, dataset=small_dataset, rounds=10,
+                          ids_per_round=512)
+    (_name, entry), = stages.items()
+    assert set(entry) >= {"wall_s", "rows_per_s", "speedup_vs_dense"}
+    assert entry["wall_s"] > 0
+    assert entry["rows_per_s"] > 0

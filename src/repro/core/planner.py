@@ -52,7 +52,11 @@ from repro.partition.registry import make_partition
 from repro.partition.reorder import ReorderedDataset, apply_reorder, reorder_dataset
 from repro.pipeline.costmodel import ModelDims
 from repro.utils.rng import derive_seed
-from repro.vip.analytic import partitionwise_vip, vip_for_training_set
+from repro.vip.analytic import (
+    partitionwise_vip,
+    transition_table,
+    vip_for_training_set,
+)
 from repro.vip.policies import (
     CacheContext,
     OraclePolicy,
@@ -704,6 +708,19 @@ class Planner:
             # training set (it may have drifted via update_training_set), so
             # the cache tracks the workload instead of the build-time one.
             graph = reordered.dataset.graph
+            # Prime the graph's shared TransitionTable for the configured
+            # fanouts — transitions, the structure memos (incoming
+            # adjacency, reduceat row starts), and the edge scratch — so
+            # every runtime refresh (training-set VIP here, or the
+            # request-VIP provider InferenceService swaps in) reuses cached
+            # state instead of paying the one-time O(N+M) passes on the
+            # serving/refresh critical path.
+            table = transition_table(graph)
+            for fanout in config.fanouts:
+                table.vertex_transition(fanout)
+            table.incoming()
+            table.nonempty_rows()
+            table.edge_scratch()
 
             def refresh_scores(machine: int) -> np.ndarray:
                 return vip_for_training_set(

@@ -29,6 +29,7 @@ from repro.distributed.dynamic_cache import (
 from repro.distributed.feature_store import (
     CoalescedFetchPlan,
     FetchPlan,
+    GatherArena,
     GatherStats,
     MachineStore,
     PartitionedFeatureStore,
@@ -60,6 +61,7 @@ __all__ = [
     "is_dynamic_policy",
     "CoalescedFetchPlan",
     "FetchPlan",
+    "GatherArena",
     "GatherStats",
     "MachineStore",
     "PartitionedFeatureStore",

@@ -44,7 +44,7 @@ from repro.distributed.comm import (
     all_reduce_gradients,
     average_parameters,
 )
-from repro.distributed.feature_store import FetchPlan
+from repro.distributed.feature_store import FetchPlan, GatherArena
 from repro.nn.functional import cross_entropy
 from repro.sampling.mfg import MFG
 from repro.utils.registry import Registry
@@ -120,6 +120,18 @@ class ExecutionEngine:
 
     def __init__(self, trainer: "DistributedTrainer"):
         self.trainer = trainer
+        # Reusable gather outputs, keyed by (machine, in-flight slot): a
+        # batch's features are consumed (trained on) before the same slot
+        # gathers again, so the per-step feature-matrix allocation — the
+        # hot path's largest — happens only at the high-water mark.
+        self._gather_arena = GatherArena()
+
+    def _gather_out(self, machine: int, rows: int, slot: int = 0) -> np.ndarray:
+        store = self.trainer.store
+        return self._gather_arena.out(
+            (machine, slot), rows, store.feature_dim,
+            store.stores[machine].local_features.dtype,
+        )
 
     @classmethod
     def _build(cls, trainer: "DistributedTrainer", **_knobs) -> "ExecutionEngine":
@@ -235,7 +247,10 @@ class ExecutionEngine:
             step_losses = []
             for k in range(K):
                 mfg = next(iterators[k])
-                feats, stats = tr.store.execute(tr.store.plan_gather(k, mfg.n_id))
+                feats, stats = tr.store.execute(
+                    tr.store.plan_gather(k, mfg.n_id),
+                    out=self._gather_out(k, len(mfg.n_id)),
+                )
                 self._record_fetch(ledger, k, stats)
                 loss_val = None
                 if not dry_run:
@@ -354,7 +369,11 @@ class PipelinedEngine(ExecutionEngine):
                         f"({len(mfgs)}/{width} batches in window {w0})"
                     )
                 plans = [tr.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
-                results = tr.store.execute_coalesced(FetchPlan.coalesce(plans))
+                results = tr.store.execute_coalesced(
+                    FetchPlan.coalesce(plans),
+                    outs=[self._gather_out(k, len(p.ids), slot=i)
+                          for i, p in enumerate(plans)],
+                )
                 for _feats, stats in results:
                     self._record_fetch(ledger, k, stats)
                 batches.append(mfgs)

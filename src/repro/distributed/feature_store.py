@@ -130,25 +130,39 @@ class FetchPlan:
         in-flight buffer (counted as ``coalesced_rows`` in their stats).
         This is the §4.3 payoff of keeping multiple batches in flight that a
         one-batch-at-a-time gather can never realize.
+
+        One concatenated ``np.unique(..., return_inverse=True)`` pass maps
+        every plan's remote ids to pool slots — O((D·R) log (D·R)) total for
+        D plans instead of a ``searchsorted`` plus boolean bookkeeping per
+        plan, and the slot arrays are kept on the result so execution never
+        re-derives them (the win grows with depth; see the ``coalesce``
+        stage of ``benchmarks/perf``).
         """
         if not plans:
             raise ValueError("cannot coalesce an empty plan list")
         machine = plans[0].machine
         if any(p.machine != machine for p in plans):
             raise ValueError("coalesced plans must belong to one machine")
-        unique_remote = np.unique(np.concatenate([p.remote_ids for p in plans]))
+        unique_remote, inverse = np.unique(
+            np.concatenate([p.remote_ids for p in plans]), return_inverse=True
+        )
         seen = np.zeros(len(unique_remote), dtype=bool)
         first_request: List[np.ndarray] = []
+        slots: List[np.ndarray] = []
+        offset = 0
         for p in plans:
-            slots = np.searchsorted(unique_remote, p.remote_ids)
-            fresh = ~seen[slots]
-            seen[slots] = True
+            sl = inverse[offset:offset + len(p.remote_ids)]
+            offset += len(p.remote_ids)
+            fresh = ~seen[sl]
+            seen[sl] = True
             first_request.append(fresh)
+            slots.append(sl)
         return CoalescedFetchPlan(
             machine=machine,
             plans=list(plans),
             unique_remote_ids=unique_remote,
             first_request=first_request,
+            slots=slots,
         )
 
 
@@ -159,13 +173,22 @@ class CoalescedFetchPlan:
     ``unique_remote_ids`` is the sorted union of the sub-plans' remote ids;
     ``first_request[i]`` masks sub-plan ``i``'s remote ids that no earlier
     sub-plan requested (those are charged to it as remote traffic; the rest
-    are its ``coalesced_rows``).
+    are its ``coalesced_rows``); ``slots[i]`` maps sub-plan ``i``'s remote
+    ids to positions in ``unique_remote_ids`` (``None`` on hand-built plans
+    — execution falls back to a ``searchsorted``).
     """
 
     machine: int
     plans: List[FetchPlan]
     unique_remote_ids: np.ndarray
     first_request: List[np.ndarray]
+    slots: Optional[List[np.ndarray]] = None
+
+    def plan_slots(self, i: int) -> np.ndarray:
+        """Pool positions of sub-plan ``i``'s remote ids."""
+        if self.slots is not None:
+            return self.slots[i]
+        return np.searchsorted(self.unique_remote_ids, self.plans[i].remote_ids)
 
     @property
     def depth(self) -> int:
@@ -178,6 +201,36 @@ class CoalescedFetchPlan:
         """Remote rows saved by coalescing (fetched once, needed N>1 times)."""
         return int(sum(len(p.remote_ids) for p in self.plans)
                    - len(self.unique_remote_ids))
+
+
+class GatherArena:
+    """Reusable gather output matrices for the per-batch hot path.
+
+    ``execute`` / ``execute_coalesced`` allocate a fresh ``(rows, D)``
+    feature matrix per minibatch by default — the dominant per-step
+    allocation in the training engines and the serving loop.  An arena
+    keeps one growable buffer per key (engines key by ``(machine,
+    in-flight slot)``) and hands out row-prefix views for
+    ``execute(plan, out=...)``.
+
+    A key's buffer is overwritten the next time the key is requested:
+    callers must fully consume (or copy) the features of one request
+    before issuing the next one under the same key, which the sequential
+    engine and serving loops do by construction.
+    """
+
+    def __init__(self):
+        self._bufs: Dict[object, np.ndarray] = {}
+
+    def out(self, key, rows: int, dim: int, dtype) -> np.ndarray:
+        """A writable ``(rows, dim)`` view for one gather's output."""
+        buf = self._bufs.get(key)
+        if (buf is None or buf.shape[0] < rows or buf.shape[1] != dim
+                or buf.dtype != dtype):
+            cap = rows if buf is None else max(rows, buf.shape[0])
+            buf = np.empty((cap, dim), dtype=dtype)
+            self._bufs[key] = buf
+        return buf[:rows]
 
 
 class StaticCache:
@@ -526,16 +579,38 @@ class PartitionedFeatureStore:
             nonlocal_ids=nl_ids,
         )
 
-    def execute(self, plan: FetchPlan):
+    def gather_into(self, machine: int, ids: np.ndarray, out: np.ndarray):
+        """:meth:`gather`, filling a caller-owned ``(len(ids), D)`` matrix.
+
+        The arena variant of the gather path: callers that reuse output
+        buffers (see :class:`GatherArena`) skip the per-batch feature-matrix
+        allocation.  Identical to :meth:`gather` in every observable way —
+        features, stats, and dynamic-cache maintenance.
+        """
+        return self.execute(self.plan_gather(machine, ids), out=out)
+
+    def _output_for(self, plan: FetchPlan, out: Optional[np.ndarray]):
+        dtype = self.stores[plan.machine].local_features.dtype
+        shape = (len(plan.ids), self.feature_dim)
+        if out is None:
+            return np.empty(shape, dtype=dtype)
+        if out.shape != shape:
+            raise ValueError(f"out must have shape {shape}, got {out.shape}")
+        if out.dtype != dtype:
+            raise ValueError(f"out must have dtype {dtype}, got {out.dtype}")
+        return out
+
+    def execute(self, plan: FetchPlan, *, out: Optional[np.ndarray] = None):
         """Execute one :class:`FetchPlan`: assemble the feature matrix, take
         :class:`GatherStats`, then run dynamic-cache maintenance.
 
         Bit-identical to the pre-split ``gather`` for any id mix (the parity
         property test in ``tests/distributed/test_engine.py`` asserts this).
+        ``out``, when given, is the caller-owned output matrix to fill
+        (every row is written) and becomes the returned feature matrix.
         """
         store = self.stores[plan.machine]
-        out = np.empty((len(plan.ids), self.feature_dim),
-                       dtype=store.local_features.dtype)
+        out = self._output_for(plan, out)
         out[plan.local_pos] = store.local_rows(plan.local_ids)
         out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
         remote_rows, remote_per_peer = self._fetch_remote_rows(
@@ -558,7 +633,8 @@ class PartitionedFeatureStore:
             )
         return out, stats
 
-    def execute_coalesced(self, cplan: CoalescedFetchPlan):
+    def execute_coalesced(self, cplan: CoalescedFetchPlan, *,
+                          outs: Optional[Sequence[np.ndarray]] = None):
         """Execute the merged plans of several in-flight minibatches.
 
         One peer exchange serves the deduplicated union of the sub-plans'
@@ -566,7 +642,9 @@ class PartitionedFeatureStore:
         rows, cache rows, and the shared in-flight pool.  Returns a list of
         ``(features, stats)`` in sub-plan order.  Stats attribute each
         unique remote row to the first requesting sub-plan; later requests
-        of the same id are that plan's ``coalesced_rows``.
+        of the same id are that plan's ``coalesced_rows``.  ``outs``, when
+        given, supplies one caller-owned output matrix per sub-plan (see
+        :class:`GatherArena`).
 
         With a dynamic cache, all assembly happens against the cache state
         the plans were made with (reads only); maintenance (hits, gated
@@ -575,6 +653,11 @@ class PartitionedFeatureStore:
         batch.
         """
         store = self.stores[cplan.machine]
+        if outs is not None and len(outs) != len(cplan.plans):
+            raise ValueError(
+                f"outs must supply one matrix per sub-plan "
+                f"({len(cplan.plans)}), got {len(outs)}"
+            )
         pool_rows, _ = self._fetch_remote_rows(
             cplan.machine, cplan.unique_remote_ids
         )
@@ -583,12 +666,11 @@ class PartitionedFeatureStore:
                   np.empty(0, dtype=np.int64))
 
         results = []
-        for plan, fresh in zip(cplan.plans, cplan.first_request):
-            out = np.empty((len(plan.ids), self.feature_dim),
-                           dtype=store.local_features.dtype)
+        for i, (plan, fresh) in enumerate(zip(cplan.plans, cplan.first_request)):
+            out = self._output_for(plan, None if outs is None else outs[i])
             out[plan.local_pos] = store.local_rows(plan.local_ids)
             out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
-            slots = np.searchsorted(cplan.unique_remote_ids, plan.remote_ids)
+            slots = cplan.plan_slots(i)
             out[plan.remote_pos] = pool_rows[slots]
 
             per_peer = np.zeros(self.num_machines, dtype=np.int64)

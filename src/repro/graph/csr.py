@@ -35,13 +35,21 @@ class CSRGraph:
         that construct graphs from already-validated parts.
     """
 
-    __slots__ = ("indptr", "indices", "_degrees", "_is_sorted")
+    __slots__ = ("indptr", "indices", "_degrees", "_is_sorted",
+                 "_is_undirected", "_transition_table")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, check: bool = True):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self._degrees: Optional[np.ndarray] = None
         self._is_sorted: Optional[bool] = None
+        self._is_undirected: Optional[bool] = None
+        #: Lazily attached per-graph cache of Proposition-1 transition
+        #: probabilities and hot-path scratch buffers — owned and populated
+        #: by :func:`repro.vip.analytic.transition_table`.  Lives on the
+        #: graph so its lifetime (and validity: graphs are immutable)
+        #: exactly matches the structure it caches.
+        self._transition_table = None
         if check:
             self._validate()
 
@@ -208,9 +216,12 @@ class CSRGraph:
         )
 
     def is_undirected(self) -> bool:
-        """True if the adjacency pattern is symmetric."""
-        a = self.to_scipy(dtype=np.int8)
-        return (a != a.T).nnz == 0
+        """True if the adjacency pattern is symmetric (cached: the O(E)
+        check runs once per graph — graphs are immutable)."""
+        if self._is_undirected is None:
+            a = self.to_scipy(dtype=np.int8)
+            self._is_undirected = bool((a != a.T).nnz == 0)
+        return self._is_undirected
 
     def has_sorted_neighbors(self) -> bool:
         if self._is_sorted is None:

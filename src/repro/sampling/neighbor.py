@@ -15,7 +15,7 @@ per-vertex Python loop.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,11 +24,74 @@ from repro.sampling.mfg import MFG, MFGBlock
 from repro.utils.rng import SeedLike, as_generator, derive_seed
 
 
+class SampleArena:
+    """Reusable scratch buffers for :func:`sample_neighbors`.
+
+    The per-call intermediates — candidate segment ids, within-segment
+    offsets, random keys, candidate edge positions — are the dominant
+    allocations on the per-batch sampling path (each is one entry per
+    *candidate* edge of the frontier, typically 10-100x the batch size).
+    An arena keeps one growable buffer per role and hands out prefix views,
+    so a long-lived :class:`NeighborSampler` allocates these once at the
+    high-water mark instead of once per hop per minibatch.
+
+    Outputs (``dst_ptr`` and the sampled neighbor ids) are always freshly
+    allocated — they outlive the call inside :class:`MFGBlock`\\ s.  The
+    sampled values and the RNG stream are bit-identical with or without an
+    arena.
+    """
+
+    def __init__(self):
+        self._i64: Dict[str, np.ndarray] = {}
+        self._f64: Dict[str, np.ndarray] = {}
+        self._ramp = np.empty(0, dtype=np.int64)
+
+    @staticmethod
+    def _grown(buf: Optional[np.ndarray], n: int, dtype) -> np.ndarray:
+        if buf is None or len(buf) < n:
+            cap = max(n, 2 * len(buf) if buf is not None else n)
+            return np.empty(cap, dtype=dtype)
+        return buf
+
+    def i64(self, name: str, n: int) -> np.ndarray:
+        """A length-``n`` int64 view (contents unspecified)."""
+        buf = self._grown(self._i64.get(name), n, np.int64)
+        self._i64[name] = buf
+        return buf[:n]
+
+    def f64(self, name: str, n: int) -> np.ndarray:
+        """A length-``n`` float64 view (contents unspecified)."""
+        buf = self._grown(self._f64.get(name), n, np.float64)
+        self._f64[name] = buf
+        return buf[:n]
+
+    def ramp(self, n: int) -> np.ndarray:
+        """Read-only view of ``arange(n)`` (grown once, shared)."""
+        if len(self._ramp) < n:
+            self._ramp = np.arange(max(n, 2 * len(self._ramp)), dtype=np.int64)
+        return self._ramp[:n]
+
+
+def _segment_ids(arena: SampleArena, offsets: np.ndarray, total: int) -> np.ndarray:
+    """``repeat(arange(len(offsets) - 1), diff(offsets))`` without the
+    repeat allocation: ones scattered at segment boundaries, cumulative-
+    summed in place (duplicate boundaries from empty segments accumulate
+    via ``np.add.at``)."""
+    seg = arena.i64("seg", total)
+    seg[:] = 0
+    bounds = offsets[1:-1]
+    np.add.at(seg, bounds[bounds < total], 1)
+    np.cumsum(seg, out=seg)
+    return seg
+
+
 def sample_neighbors(
     graph: CSRGraph,
     targets: np.ndarray,
     fanout: int,
     rng: np.random.Generator,
+    *,
+    arena: Optional[SampleArena] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Sample ≤ ``fanout`` neighbors per target, uniformly without replacement.
 
@@ -37,6 +100,10 @@ def sample_neighbors(
     fanout:
         Per-vertex cap; ``-1`` (or any negative) keeps all neighbors (full
         neighborhood expansion).
+    arena:
+        Optional :class:`SampleArena` providing reusable scratch buffers
+        (a private one is created per call otherwise).  Results and RNG
+        consumption are identical either way.
 
     Returns
     -------
@@ -44,6 +111,8 @@ def sample_neighbors(
         CSR-style offsets over ``targets`` and the sampled global neighbor
         ids, grouped per target.
     """
+    if arena is None:
+        arena = SampleArena()
     targets = np.asarray(targets, dtype=np.int64)
     deg = graph.degrees[targets]
     starts = graph.indptr[targets]
@@ -60,12 +129,17 @@ def sample_neighbors(
 
     # Gather candidate edge positions for the whole frontier.
     cand_total = int(deg.sum())
-    seg = np.repeat(np.arange(len(targets), dtype=np.int64), deg)
     cand_starts = np.zeros(len(targets) + 1, dtype=np.int64)
     np.cumsum(deg, out=cand_starts[1:])
-    # Position of each candidate within graph.indices.
-    rel = np.arange(cand_total, dtype=np.int64) - np.repeat(cand_starts[:-1], deg)
-    edge_pos = np.repeat(starts, deg) + rel
+    seg = _segment_ids(arena, cand_starts, cand_total)
+    # Position of each candidate within graph.indices:
+    # edge_pos = starts[seg] + (ramp - cand_starts[seg]).
+    rel = arena.i64("rel", cand_total)
+    np.take(cand_starts, seg, out=rel)
+    np.subtract(arena.ramp(cand_total), rel, out=rel)
+    edge_pos = arena.i64("edge_pos", cand_total)
+    np.take(starts, seg, out=edge_pos)
+    np.add(edge_pos, rel, out=edge_pos)
 
     if fanout < 0 or np.all(take == deg):
         return dst_ptr, graph.indices[edge_pos]
@@ -74,7 +148,9 @@ def sample_neighbors(
     # Combining the segment id and the key into one float (integer part =
     # segment, fraction = key) makes this a single argsort, ~2-3x faster than
     # lexsort; 52 mantissa bits leave ample randomness for any frontier size.
-    keys = seg.astype(np.float64) + rng.random(cand_total)
+    keys = arena.f64("keys", cand_total)
+    rng.random(out=keys)
+    np.add(keys, seg, out=keys)
     order = np.argsort(keys)
     out_rel = np.arange(total, dtype=np.int64) - np.repeat(dst_ptr[:-1], take)
     pick = order[np.repeat(cand_starts[:-1], take) + out_rel]
@@ -108,6 +184,9 @@ class NeighborSampler:
         self._stamp = np.zeros(graph.num_vertices, dtype=np.int64)
         self._local = np.zeros(graph.num_vertices, dtype=np.int64)
         self._epoch = 0
+        # Scratch reused across every hop of every minibatch this sampler
+        # produces (the seg/rel/key arrays of sample_neighbors).
+        self._arena = SampleArena()
 
     @property
     def num_hops(self) -> int:
@@ -131,7 +210,8 @@ class NeighborSampler:
         frontier = seeds  # S_{h-1}: all vertices known so far are targets
         blocks = []
         for fanout in self.fanouts:
-            dst_ptr, src_global = sample_neighbors(self.graph, frontier, fanout, rng)
+            dst_ptr, src_global = sample_neighbors(self.graph, frontier, fanout,
+                                                   rng, arena=self._arena)
             # Register newly seen vertices (sorted for determinism).
             fresh_mask = stamp[src_global] != epoch
             fresh = np.unique(src_global[fresh_mask])

@@ -42,7 +42,11 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.distributed.executor import _candidate_edges, sage_forward_flops
-from repro.distributed.feature_store import FetchPlan, PartitionedFeatureStore
+from repro.distributed.feature_store import (
+    FetchPlan,
+    GatherArena,
+    PartitionedFeatureStore,
+)
 from repro.pipeline.costmodel import CostModel
 from repro.pipeline.events import EventTrace, Stage, emit_window_comm_events
 from repro.sampling.mfg import MFG
@@ -122,6 +126,10 @@ class InferenceService:
         dims = cost_model.dims
         self._dims = (dims.in_dim, dims.hidden_dim, dims.out_dim)
         self._rr_next = 0  # round-robin routing cursor
+        # Reusable gather outputs, keyed by (machine, micro-batch slot): a
+        # window's features are consumed (forward pass, predictions copied)
+        # before the machine serves another window.
+        self._gather_arena = GatherArena()
         # Sliding window of recently served seed sets per machine — the
         # observed request distribution the vip-refresh score provider
         # re-runs Proposition 1 against (see _request_vip_scores).  The
@@ -371,10 +379,15 @@ class InferenceService:
             mfgs.append(sampler.sample(seeds))
             self._recent_seeds[machine].append(seeds)
         plans = [self.store.plan_gather(machine, mfg.n_id) for mfg in mfgs]
+        dtype = self.store.stores[machine].local_features.dtype
+        outs = [self._gather_arena.out((machine, i), len(p.ids),
+                                       self.store.feature_dim, dtype)
+                for i, p in enumerate(plans)]
         if len(plans) == 1:
-            results = [self.store.execute(plans[0])]
+            results = [self.store.execute(plans[0], out=outs[0])]
         else:
-            results = self.store.execute_coalesced(FetchPlan.coalesce(plans))
+            results = self.store.execute_coalesced(FetchPlan.coalesce(plans),
+                                                   outs=outs)
 
         def priced(stage: Stage, step: int, **volumes) -> float:
             trace.add(stage, machine, step, **volumes)

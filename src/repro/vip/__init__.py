@@ -9,13 +9,17 @@ workloads the static analysis cannot serve.
 """
 
 from repro.vip.analytic import (
+    TransitionTable,
     VIPResult,
     expected_remote_volume,
     partitionwise_vip,
+    partitionwise_vip_dense,
     transition_probabilities,
+    transition_table,
     uniform_minibatch_probability,
     vip_for_training_set,
     vip_probabilities,
+    vip_probabilities_dense,
 )
 from repro.vip.empirical import (
     montecarlo_inclusion_frequency,
@@ -49,13 +53,17 @@ from repro.vip.commvolume import (
 )
 
 __all__ = [
+    "TransitionTable",
     "VIPResult",
     "expected_remote_volume",
     "partitionwise_vip",
+    "partitionwise_vip_dense",
     "transition_probabilities",
+    "transition_table",
     "uniform_minibatch_probability",
     "vip_for_training_set",
     "vip_probabilities",
+    "vip_probabilities_dense",
     "montecarlo_inclusion_frequency",
     "simulate_access_counts",
     "CacheContext",

@@ -12,9 +12,32 @@ the overall inclusion probability is
 
     p(u) = 1 - prod_{h=1..L} (1 - p[h](u)).                           (2)
 
-The recursion is evaluated in O(L(M+N)) using CSR edge arrays directly: the
-product over neighbors becomes a ``log1p`` sum per CSR row (a ``reduceat``
-over contiguous segments), never materializing dense intermediates.
+Two structural facts make the recursion much cheaper than a full-graph
+sweep, and :func:`vip_probabilities` exploits both:
+
+* **Active sets** — ``p[0]`` is nonzero only on a training set (one
+  partition's, for the partition-wise vectors), and ``p[h]`` is nonzero only
+  on the h-hop ball around it.  Each hop therefore needs to touch only the
+  CSR rows *incident to the current frontier* (the vertices whose
+  probability is nonzero); everything else is exactly zero and stays zero.
+  Hops whose frontier covers most of the edge set fall back to the dense
+  row sweep — same arithmetic, so the outputs are bit-identical either way.
+* **Vertex factoring** — under the uniform sampling model the per-edge
+  factor ``1 - t_h(u, v) * p[h-1](v)`` depends only on the *source* ``v``,
+  so each hop computes one O(N) per-vertex array and gathers it along the
+  edges instead of running O(M) transition/multiply passes per hop.
+
+The reference evaluation (one ``log1p``-style sum per CSR row over all M
+edges, recomputing transition probabilities per hop) is preserved verbatim
+as :func:`vip_probabilities_dense`; a hypothesis parity suite asserts the
+active-set path reproduces it bit-for-bit, and the perf harness
+(``benchmarks/perf``) tracks the speedup.
+
+Transition probabilities themselves are cached per graph in a
+:class:`TransitionTable` (one entry per distinct fanout), so the K
+partition-wise VIP computations — and every serving-time vip-refresh — share
+≤ L transition computations per graph instead of paying K×L identical O(M)
+edge passes.
 
 Partition-wise VIP vectors (one per machine, seeded by that machine's local
 training set) drive both the remote-feature cache and the local CPU/GPU
@@ -24,13 +47,19 @@ ordering (paper §3.2, §4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.partition.interface import Partition
 from repro.utils.validation import check_probability_vector
+
+#: Fraction of the graph's directed edges the frontier's incident rows may
+#: cover before a hop falls back to the dense row sweep.  Below the cutoff
+#: the sparse path (enumerate only rows adjacent to the frontier) is a
+#: clear win; above it the dense sweep's sequential memory access wins.
+SPARSE_HOP_CUTOFF = 0.05
 
 
 @dataclass
@@ -87,16 +116,22 @@ def uniform_minibatch_probability(
     return p0
 
 
-def transition_probabilities(graph: CSRGraph, fanout: int) -> np.ndarray:
-    """Per-edge ``t(u, v) = min(1, f / d(v))`` aligned with ``graph``'s CSR.
+# ----------------------------------------------------------------------
+# Shared transition cache.
 
-    For edge slot ``e`` with row ``u`` and column ``v = indices[e]``, the
-    value is the probability that ``v`` picks ``u`` among its neighbors when
-    sampling ``fanout`` of them without replacement.  (For undirected graphs
-    the CSR row of ``u`` enumerates exactly the ``v`` with ``u ∈ N1(v)``.)
-    """
+def _normalize_fanout(fanout: int) -> int:
+    fanout = int(fanout)
     if fanout == 0:
         raise ValueError("fanout must be non-zero (-1 means full expansion)")
+    return -1 if fanout < 0 else fanout
+
+
+def _compute_edge_transition(graph: CSRGraph, fanout: int) -> np.ndarray:
+    """Uncached per-edge ``t(u, v) = min(1, f / d(v))`` (the seed
+    implementation — :func:`vip_probabilities_dense` and the dense side of
+    the perf harness use this directly so the baseline keeps paying the
+    per-invocation O(M) pass it always did)."""
+    fanout = _normalize_fanout(fanout)
     deg = graph.degrees[graph.indices].astype(np.float64)
     if fanout < 0:  # full neighborhood expansion
         return np.ones(graph.num_edges, dtype=np.float64)
@@ -104,6 +139,133 @@ def transition_probabilities(graph: CSRGraph, fanout: int) -> np.ndarray:
         t = fanout / np.maximum(deg, 1.0)
     return np.minimum(t, 1.0)
 
+
+class TransitionTable:
+    """Per-graph cache of transition probabilities and hot-path scratch.
+
+    One table is attached lazily to each :class:`CSRGraph` (see
+    :func:`transition_table`); because graphs are immutable, every cached
+    quantity stays valid for the graph's lifetime:
+
+    * ``edge_transition(f)`` — the ``(M,)`` per-edge array of
+      :func:`transition_probabilities`, computed at most once per distinct
+      fanout per graph.  ``partitionwise_vip``'s K seeded recursions, the
+      Planner's vip stage, and every serving-time vip-refresh share these
+      entries, collapsing K×L identical O(M) passes into ≤ L.
+    * ``vertex_transition(f)`` — the ``(N,)`` per-vertex factorization
+      ``min(1, f / d(v))`` the active-set path gathers along edges (the
+      per-edge array is the gather of this one).
+    * reduceat row starts, the edge-sized gather scratch, and the incoming
+      adjacency used for frontier expansion on directed graphs.
+
+    Cached arrays are handed out read-only; treat them as borrowed views.
+    """
+
+    def __init__(self, graph: CSRGraph):
+        self.graph = graph
+        self._edge: Dict[int, np.ndarray] = {}
+        self._vertex: Dict[int, np.ndarray] = {}
+        #: Cache-effectiveness counters (the transition-dedup tests and the
+        #: perf harness read these).
+        self.edge_computes = 0
+        self.edge_hits = 0
+        self.vertex_computes = 0
+        self.vertex_hits = 0
+        self._degf: Optional[np.ndarray] = None
+        self._edge_scratch: Optional[np.ndarray] = None
+        self._row_ids: Optional[np.ndarray] = None
+        self._row_starts: Optional[np.ndarray] = None
+        self._incoming: Optional[CSRGraph] = None
+
+    # -- transition entries --------------------------------------------
+    def edge_transition(self, fanout: int) -> np.ndarray:
+        """Per-edge transition probabilities, cached per distinct fanout."""
+        key = _normalize_fanout(fanout)
+        t = self._edge.get(key)
+        if t is None:
+            self.edge_computes += 1
+            t = _compute_edge_transition(self.graph, key)
+            t.flags.writeable = False
+            self._edge[key] = t
+        else:
+            self.edge_hits += 1
+        return t
+
+    def vertex_transition(self, fanout: int) -> np.ndarray:
+        """Per-vertex ``min(1, f / d(v))`` — the source-only factorization
+        of the uniform transition model (its edge gather equals
+        :meth:`edge_transition` bit-for-bit)."""
+        key = _normalize_fanout(fanout)
+        t = self._vertex.get(key)
+        if t is None:
+            self.vertex_computes += 1
+            if self._degf is None:
+                self._degf = self.graph.degrees.astype(np.float64)
+            if key < 0:
+                t = np.ones(self.graph.num_vertices, dtype=np.float64)
+            else:
+                # Same elementary ops as _compute_edge_transition, applied
+                # per vertex instead of per edge slot: gathering the result
+                # along ``indices`` is bit-identical to the per-edge pass.
+                t = np.minimum(key / np.maximum(self._degf, 1.0), 1.0)
+            t.flags.writeable = False
+            self._vertex[key] = t
+        else:
+            self.vertex_hits += 1
+        return t
+
+    # -- scratch / structure memos -------------------------------------
+    def edge_scratch(self) -> np.ndarray:
+        """Reusable ``(M,)`` float64 buffer for edge-level gathers."""
+        if self._edge_scratch is None:
+            self._edge_scratch = np.empty(self.graph.num_edges,
+                                          dtype=np.float64)
+        return self._edge_scratch
+
+    def nonempty_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, starts)`` of the graph's non-empty CSR rows — the
+        reduceat segment boundaries, structure-constant per graph."""
+        if self._row_ids is None:
+            lengths = np.diff(self.graph.indptr)
+            self._row_ids = np.flatnonzero(lengths > 0)
+            self._row_starts = self.graph.indptr[self._row_ids]
+        return self._row_ids, self._row_starts
+
+    def incoming(self) -> CSRGraph:
+        """Graph whose row ``v`` lists the rows of ``graph`` containing
+        ``v`` — what frontier expansion needs.  The graph itself for
+        undirected graphs; the transpose (built once) otherwise."""
+        if self._incoming is None:
+            self._incoming = (self.graph if self.graph.is_undirected()
+                              else self.graph.reverse())
+        return self._incoming
+
+
+def transition_table(graph: CSRGraph) -> TransitionTable:
+    """The graph's (lazily created) shared :class:`TransitionTable`."""
+    table = graph._transition_table
+    if table is None:
+        table = TransitionTable(graph)
+        graph._transition_table = table
+    return table
+
+
+def transition_probabilities(graph: CSRGraph, fanout: int) -> np.ndarray:
+    """Per-edge ``t(u, v) = min(1, f / d(v))`` aligned with ``graph``'s CSR.
+
+    For edge slot ``e`` with row ``u`` and column ``v = indices[e]``, the
+    value is the probability that ``v`` picks ``u`` among its neighbors when
+    sampling ``fanout`` of them without replacement.  (For undirected graphs
+    the CSR row of ``u`` enumerates exactly the ``v`` with ``u ∈ N1(v)``.)
+
+    Cached per ``(graph, fanout)`` in the graph's :class:`TransitionTable`;
+    the returned array is shared and read-only — copy before mutating.
+    """
+    return transition_table(graph).edge_transition(fanout)
+
+
+# ----------------------------------------------------------------------
+# Proposition 1 — dense reference evaluation (the seed implementation).
 
 def _row_log_products(indptr: np.ndarray, edge_log: np.ndarray) -> np.ndarray:
     """Sum ``edge_log`` per CSR row (empty rows produce 0)."""
@@ -116,39 +278,30 @@ def _row_log_products(indptr: np.ndarray, edge_log: np.ndarray) -> np.ndarray:
     return out
 
 
-def vip_probabilities(
+def _check_vip_inputs(graph, initial, fanouts, transition):
+    p0 = check_probability_vector(initial, "initial")
+    if len(p0) != graph.num_vertices:
+        raise ValueError("initial must have one probability per vertex")
+    if transition is not None and len(transition) != len(fanouts):
+        raise ValueError("transition must supply one edge array per hop")
+    return p0
+
+
+def vip_probabilities_dense(
     graph: CSRGraph,
     initial: np.ndarray,
     fanouts: Sequence[int],
     *,
     transition: Optional[List[np.ndarray]] = None,
 ) -> VIPResult:
-    """Evaluate Proposition 1 for one starting distribution.
+    """Reference Proposition-1 evaluation: one full O(M) edge pass per hop,
+    transition probabilities recomputed per invocation.
 
-    Parameters
-    ----------
-    graph:
-        Graph being sampled (undirected in all paper experiments).  For a
-        directed graph pass the graph whose CSR row ``u`` lists the vertices
-        ``v`` that can sample ``u`` (the reverse of the sampling direction).
-    initial:
-        ``p[0]`` — per-vertex minibatch membership probabilities.
-    fanouts:
-        Per-hop fanouts, hop 1 first; ``-1`` = full expansion.
-    transition:
-        Optional per-hop per-edge transition probabilities (overrides the
-        uniform GraphSAGE model) — accommodates non-uniform samplers as in
-        the remark after Proposition 1.
-
-    Returns
-    -------
-    VIPResult
+    This is the seed implementation, kept verbatim as the parity oracle for
+    :func:`vip_probabilities` (which must reproduce it bit-for-bit) and as
+    the baseline the perf harness measures speedups against.
     """
-    p_prev = check_probability_vector(initial, "initial")
-    if len(p_prev) != graph.num_vertices:
-        raise ValueError("initial must have one probability per vertex")
-    if transition is not None and len(transition) != len(fanouts):
-        raise ValueError("transition must supply one edge array per hop")
+    p_prev = _check_vip_inputs(graph, initial, fanouts, transition)
 
     indptr, indices = graph.indptr, graph.indices
     hopwise: List[np.ndarray] = []
@@ -160,7 +313,7 @@ def vip_probabilities(
             if t.shape != (graph.num_edges,):
                 raise ValueError(f"transition[{h}] must have one entry per edge")
         else:
-            t = transition_probabilities(graph, int(fanout))
+            t = _compute_edge_transition(graph, int(fanout))
         # prod over v in N1(u) of (1 - t(u,v) p[h-1](v)), in log space.
         prod_arg = 1.0 - t * p_prev[indices]
         with np.errstate(divide="ignore"):
@@ -178,6 +331,203 @@ def vip_probabilities(
     return VIPResult(total=total, hopwise=hopwise, initial=np.asarray(initial, dtype=np.float64))
 
 
+# ----------------------------------------------------------------------
+# Proposition 1 — active-set evaluation (bit-identical, frontier-driven).
+
+def _hop_dense(table: TransitionTable, p_prev: np.ndarray, fanout: int,
+               t_edges: Optional[np.ndarray]) -> np.ndarray:
+    """One full-row hop sweep, with the per-vertex transition factorization
+    and reusable scratch.  Values match the reference hop exactly: the
+    per-edge factors are gathers of identically computed per-vertex terms
+    (or the identical per-edge product), and the per-row sums run over the
+    same segments via the same ``np.add.reduceat``."""
+    graph = table.graph
+    edge_vals = table.edge_scratch()
+    # mode="clip" skips the bounds-check path of np.take — ~2x faster and
+    # bit-identical, since CSR indices are validated in-range at build time.
+    if t_edges is None:
+        tv = table.vertex_transition(fanout)
+        gv = tv * p_prev
+        np.subtract(1.0, gv, out=gv)
+        np.maximum(gv, 0.0, out=gv)
+        with np.errstate(divide="ignore"):
+            np.log(gv, out=gv)
+        np.take(gv, graph.indices, out=edge_vals, mode="clip")
+    else:
+        np.take(p_prev, graph.indices, out=edge_vals, mode="clip")
+        np.multiply(t_edges, edge_vals, out=edge_vals)
+        np.subtract(1.0, edge_vals, out=edge_vals)
+        np.maximum(edge_vals, 0.0, out=edge_vals)
+        with np.errstate(divide="ignore"):
+            np.log(edge_vals, out=edge_vals)
+    rows, starts = table.nonempty_rows()
+    p_h = np.zeros(graph.num_vertices, dtype=np.float64)
+    if len(rows):
+        row_prod = np.add.reduceat(edge_vals, starts)
+        np.exp(row_prod, out=row_prod)
+        np.subtract(1.0, row_prod, out=row_prod)
+        p_h[rows] = row_prod
+    np.clip(p_h, 0.0, 1.0, out=p_h)
+    return p_h
+
+
+def _segment_offsets(counts: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _expand_rows(indptr: np.ndarray, rows: np.ndarray,
+                 counts: np.ndarray) -> np.ndarray:
+    """Positions of all CSR entries of ``rows`` (row-major, in-row order)."""
+    offsets = _segment_offsets(counts)
+    total = int(offsets[-1])
+    rel = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+    return np.repeat(indptr[rows], counts) + rel
+
+
+def _hop_sparse(table: TransitionTable, p_prev: np.ndarray,
+                frontier: np.ndarray, fanout: int,
+                t_edges: Optional[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """One frontier-driven hop: touch only the CSR rows incident to the
+    active set.  Returns ``(p_h, candidate_rows)``.
+
+    Candidate rows are found by expanding the frontier through the incoming
+    adjacency; each candidate row is then evaluated over its *entire*
+    adjacency list (inactive neighbors contribute an exact ``log 1 = 0``
+    term), so every per-row sum sees the same operand sequence — hence the
+    same floating-point reduction — as the dense reference.
+    """
+    graph = table.graph
+    n = graph.num_vertices
+    inc = table.incoming()
+    reached = inc.indices[_expand_rows(inc.indptr, frontier,
+                                       inc.degrees[frontier])]
+    mask = np.zeros(n, dtype=bool)
+    mask[reached] = True
+    rows = np.flatnonzero(mask)
+    p_h = np.zeros(n, dtype=np.float64)
+    if len(rows) == 0:
+        return p_h, rows
+    counts = graph.degrees[rows]
+    edge_pos = _expand_rows(graph.indptr, rows, counts)
+    if t_edges is None:
+        tv = table.vertex_transition(fanout)
+        # Per-vertex log factors on the frontier only; everything else is
+        # an exact +0.0 (log 1), contributed through the zero fill.
+        gv = np.zeros(n, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            gv[frontier] = np.log(
+                np.maximum(1.0 - tv[frontier] * p_prev[frontier], 0.0)
+            )
+        edge_log = np.take(gv, np.take(graph.indices, edge_pos, mode="clip"),
+                           mode="clip")
+    else:
+        with np.errstate(divide="ignore"):
+            edge_log = np.log(np.maximum(
+                1.0 - t_edges[edge_pos] * p_prev[graph.indices[edge_pos]], 0.0
+            ))
+    # Candidate rows are non-empty by construction (each contains at least
+    # one frontier vertex), so the segment offsets are valid reduceat starts.
+    starts = _segment_offsets(counts)[:-1]
+    p_h[rows] = 1.0 - np.exp(np.add.reduceat(edge_log, starts))
+    np.clip(p_h, 0.0, 1.0, out=p_h)
+    return p_h, rows
+
+
+def vip_probabilities(
+    graph: CSRGraph,
+    initial: np.ndarray,
+    fanouts: Sequence[int],
+    *,
+    transition: Optional[List[np.ndarray]] = None,
+    sparse_cutoff: float = SPARSE_HOP_CUTOFF,
+) -> VIPResult:
+    """Evaluate Proposition 1 for one starting distribution.
+
+    Carries a frontier of vertices whose probability is nonzero and touches
+    only the CSR rows incident to it per hop, falling back to the dense row
+    sweep once the frontier's incident edges exceed ``sparse_cutoff`` of the
+    edge set.  Outputs are bit-identical to
+    :func:`vip_probabilities_dense` for every input (enforced by the
+    hypothesis parity suite in ``tests/vip/test_active_set.py``); only the
+    cost changes — seed distributions confined to one partition's training
+    set (or a serving hot set) no longer pay full-graph cost per hop, and
+    transition probabilities come from the graph's shared
+    :class:`TransitionTable` instead of being recomputed per call.
+
+    Parameters
+    ----------
+    graph:
+        Graph being sampled (undirected in all paper experiments).  For a
+        directed graph pass the graph whose CSR row ``u`` lists the vertices
+        ``v`` that can sample ``u`` (the reverse of the sampling direction).
+    initial:
+        ``p[0]`` — per-vertex minibatch membership probabilities.
+    fanouts:
+        Per-hop fanouts, hop 1 first; ``-1`` = full expansion.
+    transition:
+        Optional per-hop per-edge transition probabilities (overrides the
+        uniform GraphSAGE model) — accommodates non-uniform samplers as in
+        the remark after Proposition 1.
+    sparse_cutoff:
+        Frontier-size threshold for the sparse hop path, as a fraction of
+        the edge count (0 forces dense sweeps, 1 forces sparse hops; the
+        parity tests pin both extremes).
+
+    Returns
+    -------
+    VIPResult
+    """
+    p_prev = _check_vip_inputs(graph, initial, fanouts, transition)
+    table = transition_table(graph)
+    n, m = graph.num_vertices, graph.num_edges
+    deg = graph.degrees
+
+    hopwise: List[np.ndarray] = []
+    log_not_total = np.zeros(n, dtype=np.float64)
+    # ``frontier is None`` means "assume dense": skip frontier bookkeeping
+    # once a hop's support has grown past any chance of a sparse follow-up.
+    frontier: Optional[np.ndarray] = np.flatnonzero(p_prev)
+
+    for h, fanout in enumerate(fanouts):
+        t_edges = None
+        if transition is not None:
+            t_edges = np.asarray(transition[h], dtype=np.float64)
+            if t_edges.shape != (m,):
+                raise ValueError(f"transition[{h}] must have one entry per edge")
+        sparse = (frontier is not None
+                  and int(deg[frontier].sum()) <= sparse_cutoff * m)
+        if sparse:
+            p_h, touched = _hop_sparse(table, p_prev, frontier, fanout, t_edges)
+            nonzero = touched[p_h[touched] > 0.0]
+            # Accumulate (2)'s log product only where p_h is nonzero — the
+            # remaining terms are exact log 1 = +0.0, which adding skips
+            # without changing a single bit.
+            with np.errstate(divide="ignore"):
+                log_not_total[nonzero] += np.log(
+                    np.maximum(1.0 - p_h[nonzero], 0.0)
+                )
+            frontier = nonzero
+        else:
+            p_h = _hop_dense(table, p_prev, fanout, t_edges)
+            with np.errstate(divide="ignore"):
+                log_not_total += np.log(np.maximum(1.0 - p_h, 0.0))
+            # Recompute the frontier only while the support is small enough
+            # that the next hop could plausibly take the sparse path.
+            if np.count_nonzero(p_h) <= sparse_cutoff * n:
+                frontier = np.flatnonzero(p_h)
+            else:
+                frontier = None
+        hopwise.append(p_h)
+        p_prev = p_h
+
+    total = 1.0 - np.exp(log_not_total)
+    np.clip(total, 0.0, 1.0, out=total)
+    return VIPResult(total=total, hopwise=hopwise,
+                     initial=np.asarray(initial, dtype=np.float64))
+
+
 def vip_for_training_set(
     graph: CSRGraph,
     train_idx: np.ndarray,
@@ -187,6 +537,24 @@ def vip_for_training_set(
     """VIP under uniform minibatches drawn from ``train_idx``."""
     p0 = uniform_minibatch_probability(graph.num_vertices, train_idx, batch_size)
     return vip_probabilities(graph, p0, fanouts)
+
+
+def _partitionwise(graph, partition, train_idx, fanouts, batch_size, vip_fn):
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    owner = partition.assignment[train_idx]
+    out = np.zeros((partition.num_parts, graph.num_vertices), dtype=np.float64)
+    for k in range(partition.num_parts):
+        local_train = train_idx[owner == k]
+        if len(local_train) == 0:
+            continue
+        p0 = uniform_minibatch_probability(graph.num_vertices, local_train,
+                                           batch_size)
+        res = vip_fn(graph, p0, fanouts)
+        # Use the full access probability (includes minibatch membership):
+        # identical to equation (2) for remote vertices, and the correct
+        # ranking for local CPU/GPU placement of training vertices.
+        out[k] = res.access
+    return out
 
 
 def partitionwise_vip(
@@ -203,20 +571,28 @@ def partitionwise_vip(
     that machine ``k`` needs vertex ``u`` for one of its minibatches.  This
     is the quantity that ranks both remote-cache candidates and the local
     CPU/GPU split (paper §3.2).
+
+    Each row runs the active-set recursion; all K rows share the graph's
+    :class:`TransitionTable`, so transition probabilities are computed at
+    most once per distinct fanout for the whole matrix.
     """
-    train_idx = np.asarray(train_idx, dtype=np.int64)
-    owner = partition.assignment[train_idx]
-    out = np.zeros((partition.num_parts, graph.num_vertices), dtype=np.float64)
-    for k in range(partition.num_parts):
-        local_train = train_idx[owner == k]
-        if len(local_train) == 0:
-            continue
-        res = vip_for_training_set(graph, local_train, fanouts, batch_size)
-        # Use the full access probability (includes minibatch membership):
-        # identical to equation (2) for remote vertices, and the correct
-        # ranking for local CPU/GPU placement of training vertices.
-        out[k] = res.access
-    return out
+    return _partitionwise(graph, partition, train_idx, fanouts, batch_size,
+                          vip_probabilities)
+
+
+def partitionwise_vip_dense(
+    graph: CSRGraph,
+    partition: Partition,
+    train_idx: np.ndarray,
+    fanouts: Sequence[int],
+    batch_size: int,
+) -> np.ndarray:
+    """Seed-implementation partition-wise VIP: K independent dense
+    recursions, transitions recomputed per hop per partition.  The perf
+    harness's ``preprocess.vip`` baseline and the parity oracle for
+    :func:`partitionwise_vip` (bit-identical matrices)."""
+    return _partitionwise(graph, partition, train_idx, fanouts, batch_size,
+                          vip_probabilities_dense)
 
 
 def expected_remote_volume(
@@ -232,6 +608,10 @@ def expected_remote_volume(
     minibatches gives the expected communication volume the caching policy
     minimizes (§3.2 "Communication reduction").
 
+    Evaluated as one vectorized pass over the ``(K, N)`` matrix: the
+    owner one-hot matrix is materialized once, instead of allocating a
+    fresh N-length remote mask per machine.
+
     Parameters
     ----------
     vip_matrix:
@@ -241,12 +621,23 @@ def expected_remote_volume(
     cached:
         Optional boolean ``(K, N)`` cache membership.
     """
+    vip_matrix = np.asarray(vip_matrix, dtype=np.float64)
+    if vip_matrix.ndim != 2:
+        raise ValueError(f"vip_matrix must be 2-D (K, N), got {vip_matrix.shape}")
     K, N = vip_matrix.shape
     owner = partition.assignment
-    total = 0.0
-    for k in range(K):
-        remote = owner != k
-        if cached is not None:
-            remote = remote & ~cached[k]
-        total += float(steps_per_epoch[k]) * float(vip_matrix[k, remote].sum())
-    return total
+    if owner.shape != (N,):
+        raise ValueError(
+            f"vip_matrix has {N} columns but the partition covers "
+            f"{owner.shape[0]} vertices"
+        )
+    steps = np.asarray(steps_per_epoch, dtype=np.float64)
+    if steps.shape != (K,):
+        raise ValueError(f"steps_per_epoch must have shape ({K},), got {steps.shape}")
+    local = owner[np.newaxis, :] == np.arange(K)[:, np.newaxis]  # one-hot pass
+    contrib = np.where(local, 0.0, vip_matrix)
+    if cached is not None:
+        if cached.shape != (K, N):
+            raise ValueError(f"cached must have shape ({K}, {N}), got {cached.shape}")
+        contrib = np.where(cached, 0.0, contrib)
+    return float(steps @ contrib.sum(axis=1))

@@ -59,6 +59,68 @@ class TestSampleNeighbors:
         assert len(src) == 0 and list(ptr) == [0]
 
 
+class TestSampleArena:
+    """Arena-backed sampling is bit-identical to the allocating path."""
+
+    def test_results_and_rng_stream_identical(self, small_er_graph):
+        from repro.sampling.neighbor import SampleArena
+
+        g = small_er_graph
+        arena = SampleArena()
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        targets = np.random.default_rng(2).choice(
+            g.num_vertices, 60, replace=False)
+        # Mixed fanouts exercise the key-selection and the take-all paths;
+        # the shared arena must not perturb either the outputs or how many
+        # variates each call consumes.
+        for fanout in (3, -1, 5, 1, 50, 2):
+            ptr_a, src_a = sample_neighbors(g, targets, fanout, rng_a)
+            ptr_b, src_b = sample_neighbors(g, targets, fanout, rng_b,
+                                            arena=arena)
+            assert np.array_equal(ptr_a, ptr_b)
+            assert np.array_equal(src_a, src_b)
+        assert rng_a.random() == rng_b.random()  # streams stayed aligned
+
+    def test_segment_ids_with_empty_rows(self):
+        """The scatter/cumsum segment builder handles empty segments
+        (including runs of them at either end) exactly like np.repeat."""
+        from repro.sampling.neighbor import SampleArena, _segment_ids
+
+        arena = SampleArena()
+        for counts in ([0, 3, 0, 0, 2, 1, 0], [0, 0, 1], [2], [5, 0],
+                       [1, 1, 1], [0, 4]):
+            counts = np.asarray(counts, dtype=np.int64)
+            offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            want = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+            got = _segment_ids(arena, offsets, int(counts.sum()))
+            assert np.array_equal(got, want), counts
+
+    def test_buffers_are_reused(self, small_er_graph, rng):
+        from repro.sampling.neighbor import SampleArena
+
+        arena = SampleArena()
+        big = arena.i64("seg", 100)
+        again = arena.i64("seg", 40)
+        assert again.base is big.base  # same backing allocation
+        assert len(arena.ramp(64)) == 64
+        assert np.array_equal(arena.ramp(8), np.arange(8))
+
+    def test_outputs_not_aliased_to_arena(self, small_er_graph, rng):
+        """Returned arrays must survive later calls on the same arena."""
+        from repro.sampling.neighbor import SampleArena
+
+        g = small_er_graph
+        arena = SampleArena()
+        targets = np.arange(0, g.num_vertices, 3)
+        ptr1, src1 = sample_neighbors(g, targets, -1, rng, arena=arena)
+        keep = src1.copy()
+        sample_neighbors(g, targets, 4, rng, arena=arena)
+        sample_neighbors(g, np.arange(g.num_vertices), -1, rng, arena=arena)
+        assert np.array_equal(src1, keep)
+
+
 class TestNeighborSampler:
     def test_mfg_structure(self, small_er_graph):
         s = NeighborSampler(small_er_graph, (4, 3), seed=0)

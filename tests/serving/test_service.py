@@ -109,8 +109,8 @@ class TestPredictionsMatchMonolithic:
 
         original = svc.store.execute
 
-        def checking_execute(plan):
-            out, stats = original(plan)
+        def checking_execute(plan, **kwargs):
+            out, stats = original(plan, **kwargs)
             assert np.array_equal(out, feats_ref[plan.ids])
             seen["n"] = seen.get("n", 0) + 1
             return out, stats

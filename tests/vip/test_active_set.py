@@ -1,0 +1,244 @@
+"""Active-set Proposition 1 ≡ dense Proposition 1, bit for bit.
+
+The optimized :func:`vip_probabilities` (frontier-driven hops, vertex-
+factored transitions, shared :class:`TransitionTable`) must reproduce the
+seed implementation :func:`vip_probabilities_dense` exactly — not "close",
+*identical* — for every graph, seed distribution, fanout list (including
+full expansion), and transition override.  This file is the enforcement:
+hypothesis property tests over random graphs plus directed-graph, cutoff-
+extreme, and transition-dedup cases, and the reference test for the
+vectorized :func:`expected_remote_volume`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph, erdos_renyi
+from repro.partition import Partition, metis_like_partition
+from repro.vip import (
+    expected_remote_volume,
+    partitionwise_vip,
+    partitionwise_vip_dense,
+    transition_probabilities,
+    transition_table,
+    uniform_minibatch_probability,
+    vip_for_training_set,
+    vip_probabilities,
+    vip_probabilities_dense,
+)
+from repro.vip.analytic import _compute_edge_transition
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.total, b.total)
+    assert len(a.hopwise) == len(b.hopwise)
+    for ha, hb in zip(a.hopwise, b.hopwise):
+        assert np.array_equal(ha, hb)
+    assert np.array_equal(a.initial, b.initial)
+
+
+@st.composite
+def graph_and_p0(draw):
+    """A random undirected graph with a sparse-ish initial distribution
+    (the partition-restricted shape Proposition 1 sees in production)."""
+    n = draw(st.integers(min_value=2, max_value=120))
+    avg_deg = draw(st.floats(min_value=0.0, max_value=8.0))
+    g = erdos_renyi(n, avg_deg, seed=draw(st.integers(0, 2**16)))
+    support = draw(st.integers(min_value=0, max_value=n))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    p0 = np.zeros(n)
+    if support:
+        idx = rng.choice(n, size=support, replace=False)
+        p0[idx] = rng.random(support)
+    return g, p0
+
+
+fanout_lists = st.lists(
+    st.sampled_from([-1, 1, 2, 3, 5, 17]), min_size=1, max_size=4
+)
+
+
+class TestActiveSetParity:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_and_p0(), fanout_lists,
+           st.sampled_from([0.0, 0.05, 0.5, 1.0]))
+    def test_matches_dense(self, gp, fanouts, cutoff):
+        g, p0 = gp
+        dense = vip_probabilities_dense(g, p0, fanouts)
+        active = vip_probabilities(g, p0, fanouts, sparse_cutoff=cutoff)
+        assert_results_identical(active, dense)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_and_p0(), fanout_lists)
+    def test_matches_dense_with_transition_override(self, gp, fanouts):
+        g, p0 = gp
+        rng = np.random.default_rng(0)
+        override = [rng.random(g.num_edges) for _ in fanouts]
+        dense = vip_probabilities_dense(g, p0, fanouts, transition=override)
+        for cutoff in (0.0, 1.0):
+            active = vip_probabilities(g, p0, fanouts, transition=override,
+                                       sparse_cutoff=cutoff)
+            assert_results_identical(active, dense)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 80), st.floats(0.5, 6.0), st.integers(0, 2**16),
+           fanout_lists)
+    def test_matches_dense_directed(self, n, avg_deg, seed, fanouts):
+        """Directed graphs: frontier expansion must go through the reverse
+        adjacency, not the (asymmetric) forward rows."""
+        rng = np.random.default_rng(seed)
+        m = int(avg_deg * n)
+        g = CSRGraph.from_edges(rng.integers(0, n, m), rng.integers(0, n, m),
+                                n, dedup=True)
+        p0 = np.zeros(n)
+        hot = rng.choice(n, size=max(1, n // 8), replace=False)
+        p0[hot] = rng.random(len(hot))
+        dense = vip_probabilities_dense(g, p0, fanouts)
+        for cutoff in (0.0, 1.0):
+            active = vip_probabilities(g, p0, fanouts, sparse_cutoff=cutoff)
+            assert_results_identical(active, dense)
+
+    def test_partition_restricted_p0(self, tiny_dataset, tiny_partition):
+        """The production shape: p0 confined to one partition's training
+        set, evaluated per partition (both paths, both cutoff extremes)."""
+        ds = tiny_dataset
+        train = ds.train_idx
+        owner = tiny_partition.assignment[train]
+        for k in range(tiny_partition.num_parts):
+            p0 = uniform_minibatch_probability(
+                ds.num_vertices, train[owner == k], 32)
+            dense = vip_probabilities_dense(ds.graph, p0, (5, 4, 3))
+            for cutoff in (0.0, 0.05, 1.0):
+                active = vip_probabilities(ds.graph, p0, (5, 4, 3),
+                                           sparse_cutoff=cutoff)
+                assert_results_identical(active, dense)
+
+    def test_partitionwise_matrix_bit_identical(self, tiny_dataset,
+                                                tiny_partition):
+        ds = tiny_dataset
+        dense = partitionwise_vip_dense(ds.graph, tiny_partition, ds.train_idx,
+                                        (5, 5), 32)
+        active = partitionwise_vip(ds.graph, tiny_partition, ds.train_idx,
+                                   (5, 5), 32)
+        assert np.array_equal(dense, active)
+
+    def test_vip_for_training_set_uses_active_path(self, tiny_dataset):
+        ds = tiny_dataset
+        res = vip_for_training_set(ds.graph, ds.train_idx[:10], (3, 3), 8)
+        ref = vip_probabilities_dense(
+            ds.graph,
+            uniform_minibatch_probability(ds.num_vertices, ds.train_idx[:10], 8),
+            (3, 3),
+        )
+        assert_results_identical(res, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_and_p0())
+    def test_rejects_bad_inputs_like_dense(self, gp):
+        g, p0 = gp
+        with pytest.raises(ValueError, match="one probability per vertex"):
+            vip_probabilities(g, np.zeros(g.num_vertices + 1), (2,))
+        with pytest.raises(ValueError, match="one edge array per hop"):
+            vip_probabilities(g, p0, (2, 2), transition=[np.ones(g.num_edges)])
+        with pytest.raises(ValueError, match="one entry per edge"):
+            vip_probabilities(g, p0, (2,), transition=[np.ones(g.num_edges + 1)])
+
+
+class TestTransitionCache:
+    def test_repeated_fanouts_compute_once(self):
+        """Fanouts (5, 5, 5) must not recompute an identical transition
+        array three times — one compute, the rest cache hits."""
+        g = erdos_renyi(150, 5.0, seed=2)
+        table = transition_table(g)
+        p0 = uniform_minibatch_probability(150, np.arange(0, 150, 5), 16)
+        vip_probabilities(g, p0, (5, 5, 5))
+        assert table.vertex_computes == 1
+        assert table.vertex_hits >= 2
+        # Same story for the per-edge arrays the public API hands out.
+        t1 = transition_probabilities(g, 5)
+        t2 = transition_probabilities(g, 5)
+        assert t1 is t2
+        assert table.edge_computes == 1
+
+    def test_partitionwise_shares_transitions_across_partitions(self):
+        """K seeded recursions over L distinct fanouts compute at most L
+        transition vectors for the whole matrix (was K x L passes)."""
+        g = erdos_renyi(200, 6.0, seed=4)
+        part = metis_like_partition(g, 4, seed=0)
+        table = transition_table(g)
+        before = table.vertex_computes
+        partitionwise_vip(g, part, np.arange(0, 200, 3), (5, 4, 3), 16)
+        assert table.vertex_computes - before <= 3
+
+    def test_negative_fanouts_share_one_entry(self):
+        g = erdos_renyi(60, 3.0, seed=1)
+        table = transition_table(g)
+        assert transition_probabilities(g, -1) is transition_probabilities(g, -2)
+        assert table.edge_computes == 1
+
+    def test_cached_arrays_match_uncached_and_are_readonly(self):
+        g = erdos_renyi(80, 4.0, seed=9)
+        for fanout in (1, 3, -1):
+            cached = transition_probabilities(g, fanout)
+            assert np.array_equal(cached, _compute_edge_transition(g, fanout))
+            assert not cached.flags.writeable
+        with pytest.raises(ValueError, match="fanout"):
+            transition_probabilities(g, 0)
+
+    def test_vertex_factoring_matches_edge_transition(self):
+        """Gathering the per-vertex factorization along ``indices`` is the
+        per-edge array, bit for bit (the active path's correctness core)."""
+        g = erdos_renyi(100, 5.0, seed=3)
+        table = transition_table(g)
+        for fanout in (1, 2, 7, -1):
+            per_edge = table.edge_transition(fanout)
+            per_vertex = table.vertex_transition(fanout)
+            assert np.array_equal(per_vertex[g.indices], per_edge)
+
+    def test_table_is_per_graph(self):
+        g1 = erdos_renyi(50, 3.0, seed=1)
+        g2 = erdos_renyi(50, 3.0, seed=2)
+        assert transition_table(g1) is transition_table(g1)
+        assert transition_table(g1) is not transition_table(g2)
+
+
+class TestExpectedRemoteVolume:
+    @staticmethod
+    def _reference(vip_matrix, partition, steps, cached=None):
+        """The seed implementation: one boolean mask per machine."""
+        K, _ = vip_matrix.shape
+        owner = partition.assignment
+        total = 0.0
+        for k in range(K):
+            remote = owner != k
+            if cached is not None:
+                remote = remote & ~cached[k]
+            total += float(steps[k]) * float(vip_matrix[k, remote].sum())
+        return total
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(5, 60), st.integers(0, 2**16))
+    def test_matches_reference(self, K, n, seed):
+        rng = np.random.default_rng(seed)
+        part = Partition(rng.integers(0, K, n), K)
+        vip = rng.random((K, n))
+        steps = rng.integers(1, 10, K)
+        cached = rng.random((K, n)) < 0.3
+        got = expected_remote_volume(vip, part, steps)
+        assert got == pytest.approx(self._reference(vip, part, steps))
+        got_cached = expected_remote_volume(vip, part, steps, cached)
+        assert got_cached == pytest.approx(
+            self._reference(vip, part, steps, cached))
+        assert got_cached <= got + 1e-9
+
+    def test_rejects_shape_mismatches(self):
+        part = Partition(np.zeros(10, dtype=np.int64), 2)
+        vip = np.zeros((2, 10))
+        with pytest.raises(ValueError, match="steps_per_epoch"):
+            expected_remote_volume(vip, part, np.ones(3))
+        with pytest.raises(ValueError, match="cached"):
+            expected_remote_volume(vip, part, np.ones(2),
+                                   cached=np.zeros((2, 9), dtype=bool))
+        with pytest.raises(ValueError, match="2-D"):
+            expected_remote_volume(np.zeros(10), part, np.ones(2))
