@@ -23,6 +23,12 @@ Tracked stages
 ``train.epoch_<engine>``
     One dry-run functional epoch per execution engine (sampling + gather +
     event emission; no model math), rows/s = gathered feature rows.
+``train.epoch_bsp_multiproc``
+    One *real* (weight-updating) bsp epoch through the multiproc cluster
+    backend — 8 worker processes over shared-memory feature segments and
+    wire-format plans — against the identical real epoch in-process
+    (``dense_wall_s``), asserted loss-identical before timing is reported.
+    Extra keys carry the one-time spawn/handshake wall time.
 ``serving.latency``
     An open-loop Poisson serving run (deadline batcher, static VIP cache);
     extra keys carry the simulated p50/p99 for context.
@@ -162,6 +168,38 @@ def engine_stages(stages: dict, *, engines=("bsp", "pipelined", "async"),
             lambda system=system: system.train_epoch(0, dry_run=True))
         rows = sum(r.gather.total_rows for r in result.report.records)
         stages[f"train.epoch_{engine}"] = _entry(wall, rows=rows)
+
+
+# ----------------------------------------------------------------------
+def multiproc_stages(stages: dict, *, dataset=None) -> None:
+    """A real bsp epoch on the multiproc backend vs the same epoch
+    in-process: per-epoch wall includes the wire round trips and
+    shared-memory reads, spawn/handshake cost is reported separately."""
+    import dataclasses
+
+    ds = dataset if dataset is not None else load_dataset(DATASET)
+    planner = Planner()
+    cfg = RunConfig(num_machines=K, replication_factor=0.1,
+                    cache_policy="vip", engine="bsp", seed=0)
+    ref = planner.build(ds, cfg)
+    dense_wall, ref_result = _timed(lambda: ref.train_epoch(0))
+
+    mp = planner.build(ds, dataclasses.replace(cfg, backend="multiproc"))
+    backend = mp.backend()
+    spawn_wall, _ = _timed(backend.start)
+    try:
+        wall, result = _timed(lambda: mp.train_epoch(0))
+    finally:
+        mp.shutdown()
+    if result.report.mean_loss != ref_result.report.mean_loss:
+        raise AssertionError(
+            "multiproc real epoch diverged from the in-process oracle"
+        )
+    rows = sum(r.gather.total_rows for r in result.report.records)
+    stages["train.epoch_bsp_multiproc"] = _entry(
+        wall, rows=rows, dense_wall_s=dense_wall,
+        spawn_wall_s=round(spawn_wall, 6), workers=K,
+        mean_loss=round(result.report.mean_loss, 6), bit_identical=True)
 
 
 # ----------------------------------------------------------------------
@@ -352,6 +390,7 @@ def run_all(*, num_requests=1_200, engines=("bsp", "pipelined", "async")) -> dic
     dataset = load_dataset(DATASET)
     reordered = preprocessing_stages(stages, dataset=dataset)
     engine_stages(stages, engines=engines, dataset=dataset)
+    multiproc_stages(stages, dataset=dataset)
     serving_stages(stages, num_requests=num_requests, dataset=dataset)
     gather_stages(stages, reordered=reordered)
     coalesce_stages(stages, reordered=reordered)

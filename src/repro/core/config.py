@@ -134,6 +134,13 @@ class RunConfig:
     engine: str = "bsp"
     staleness: int = 0
 
+    # Cluster backend: how the K machines actually execute.  "inprocess"
+    # (default) simulates them inside this interpreter — the semantics every
+    # other backend must reproduce bit-for-bit; "multiproc" runs one worker
+    # process per machine over shared-memory feature segments (bsp/pipelined
+    # engines with static caches and partitioned storage only).
+    backend: str = "inprocess"
+
     # Pipeline (§4.3): simulated overlap mode, and the in-flight depth used
     # both by the simulator's gating and by the "pipelined" engine.
     pipeline: PipelineMode = PipelineMode.FULL
@@ -167,6 +174,7 @@ class RunConfig:
         """
         # Local imports: the registries live in packages that are heavier
         # than this module and must stay importable without repro.core.
+        from repro.distributed import CLUSTER_BACKENDS  # registers backends
         from repro.distributed.dynamic_cache import DYNAMIC_CACHE_POLICIES
         from repro.distributed.engine import ENGINES
         from repro.partition.registry import PARTITIONERS
@@ -176,6 +184,27 @@ class RunConfig:
             raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
         PARTITIONERS.get(self.partitioner)  # raises with the sorted valid names
         ENGINES.get(self.engine)            # ditto (execution engine names)
+        CLUSTER_BACKENDS.get(self.backend)  # ditto (cluster backend names)
+        if self.backend == "multiproc":
+            from repro.distributed.multiproc import SUPPORTED_ENGINES
+
+            if self.engine not in SUPPORTED_ENGINES:
+                raise ValueError(
+                    f"the multiproc backend supports engines "
+                    f"{SUPPORTED_ENGINES}, got {self.engine!r}"
+                )
+            if is_dynamic_policy(self.cache_policy):
+                raise ValueError(
+                    f"the multiproc backend requires a static cache policy "
+                    f"(workers attach feature segments read-only), got "
+                    f"{self.cache_policy!r}"
+                )
+            if self.full_replication:
+                raise ValueError(
+                    "the multiproc backend requires partitioned storage; "
+                    "full replication would copy the whole feature matrix "
+                    "into every machine's segment"
+                )
         if self.staleness < 0:
             raise ValueError(
                 f"staleness must be non-negative, got {self.staleness}"
@@ -271,8 +300,9 @@ class RunConfig:
             engine += f"(depth={self.pipeline_depth})"
         elif engine == "async":
             engine += f"(staleness={self.staleness})"
+        backend = "" if self.backend == "inprocess" else f", backend={self.backend}"
         return (f"{storage}, engine={engine}, pipeline={self.pipeline.value}, "
-                f"K={self.num_machines}, net={self.network_gbps:g}Gbps")
+                f"K={self.num_machines}, net={self.network_gbps:g}Gbps{backend}")
 
 
 def progressive_variants(num_machines: int,

@@ -87,6 +87,7 @@ class SalientPP:
         self.trainer = trainer
         self.cost_model = cost_model
         self.vip_matrix = vip_matrix
+        self._backend = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -122,6 +123,31 @@ class SalientPP:
         )
 
     # ------------------------------------------------------------------
+    def backend(self):
+        """The configured :class:`~repro.distributed.cluster.ClusterBackend`,
+        built lazily (a multiproc backend spawns workers on first use)."""
+        if self._backend is None:
+            from repro.distributed.cluster import make_cluster_backend
+
+            self._backend = make_cluster_backend(self.config.backend, self)
+        return self._backend
+
+    def shutdown(self) -> None:
+        """Release backend resources (worker processes, shared memory).
+
+        Idempotent; a no-op for the in-process backend.  Systems used as
+        context managers shut down on exit."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "SalientPP":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------
     def train_epoch(self, epoch: int = 0, *, dry_run: bool = False) -> EpochResult:
         """One functional epoch + its simulated wall time.
 
@@ -133,7 +159,7 @@ class SalientPP:
         allreduce barriers).  Reports without a trace fall back to the
         record-based reconstruction.
         """
-        report = self.trainer.train_epoch(epoch, dry_run=dry_run)
+        report = self.backend().run_epoch(epoch, dry_run=dry_run)
         if report.events is not None:
             timing = simulate_trace(
                 report.events, self.cost_model,
@@ -163,7 +189,17 @@ class SalientPP:
     def update_training_set(self, train_idx: np.ndarray) -> None:
         """Swap the active training vertices (reordered ids) — the
         non-stationary-workload hook; see
-        :meth:`repro.distributed.DistributedTrainer.update_training_set`."""
+        :meth:`repro.distributed.DistributedTrainer.update_training_set`.
+
+        Refused while a live external backend is running: its workers hold
+        their own copies of the training split, so a coordinator-side swap
+        would silently diverge from what the workers sample.  Call
+        :meth:`shutdown` first."""
+        if self._backend is not None and self._backend.is_live:
+            raise RuntimeError(
+                "cannot swap the training set while a live cluster backend "
+                "is running; call shutdown() first"
+            )
         self.trainer.update_training_set(train_idx)
 
     # ------------------------------------------------------------------

@@ -1,11 +1,22 @@
 """Simulated distributed runtime: cluster specs, partitioned feature store
 with CPU/GPU tiers and static or dynamic remote caches, byte-accounted
-collectives, and the bulk-synchronous data-parallel trainer."""
+collectives, the bulk-synchronous data-parallel trainer, and the cluster
+backends (in-process simulation, or one real worker process per machine
+over shared memory)."""
 
-from repro.distributed.cluster import GBPS, ClusterSpec, MachineSpec, NetworkSpec
+from repro.distributed.cluster import (
+    CLUSTER_BACKENDS,
+    GBPS,
+    ClusterBackend,
+    ClusterSpec,
+    MachineSpec,
+    NetworkSpec,
+    make_cluster_backend,
+)
 from repro.distributed.comm import (
     CommLedger,
     all_reduce_gradients,
+    average_gradient_arrays,
     average_parameters,
     broadcast_state,
     gradient_nbytes,
@@ -18,6 +29,7 @@ from repro.distributed.engine import (
     PipelinedEngine,
     PrefetchIterator,
     make_engine,
+    train_batch,
 )
 from repro.distributed.dynamic_cache import (
     DYNAMIC_CACHE_POLICIES,
@@ -35,15 +47,33 @@ from repro.distributed.feature_store import (
     PartitionedFeatureStore,
     StaticCache,
 )
-from repro.distributed.executor import DistributedTrainer, EpochReport, StepRecord
+from repro.distributed.executor import (
+    DistributedTrainer,
+    EpochReport,
+    InProcessBackend,
+    StepRecord,
+)
+from repro.distributed.multiproc import (  # must import after executor
+    MultiprocBackend,
+    WorkerFailedError,
+)
+from repro.distributed.wire import WireError
 
 __all__ = [
+    "CLUSTER_BACKENDS",
+    "ClusterBackend",
+    "make_cluster_backend",
+    "InProcessBackend",
+    "MultiprocBackend",
+    "WorkerFailedError",
+    "WireError",
     "GBPS",
     "ClusterSpec",
     "MachineSpec",
     "NetworkSpec",
     "CommLedger",
     "all_reduce_gradients",
+    "average_gradient_arrays",
     "average_parameters",
     "broadcast_state",
     "gradient_nbytes",
@@ -54,6 +84,7 @@ __all__ = [
     "PipelinedEngine",
     "PrefetchIterator",
     "make_engine",
+    "train_batch",
     "DYNAMIC_CACHE_POLICIES",
     "CacheChurnStats",
     "DynamicCache",

@@ -1,4 +1,6 @@
-"""Cluster hardware model: machine, network, and cluster specifications.
+"""Cluster hardware model and execution backends.
+
+Hardware half: machine, network, and cluster specifications.
 
 The paper's testbed is 16 AWS g5.8xlarge machines (16-core AMD CPU, 128 GB
 DRAM, one NVIDIA A10G with 24 GB, 25 Gbps network SLA).  These dataclasses
@@ -12,11 +14,27 @@ as the paper (communication-bound without caching at 25 Gbps; compute-bound
 once VIP caching removes most remote traffic).  Figure 9's slow-network
 experiments reuse :meth:`NetworkSpec.with_bandwidth` at 4 and 8 Gbps, the
 paper's token-bucket-filter settings.
+
+Backend half: *where* the K logical machines actually run.  A
+:class:`ClusterBackend` executes training epochs for a built system —
+``"inprocess"`` (the default; K simulated machines inside this
+interpreter, see :mod:`repro.distributed.executor`) or ``"multiproc"``
+(one worker process per machine over shared-memory feature segments, see
+:mod:`repro.distributed.multiproc`).  Backends are registered in
+:data:`CLUSTER_BACKENDS` and selected by ``RunConfig.backend``; whichever
+backend runs, the functional results (losses, records, traces) are
+bit-identical — the parity test suite holds them to that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.executor import EpochReport
 
 
 GBPS = 1e9 / 8  # bytes/s per Gbit/s
@@ -125,3 +143,57 @@ class ClusterSpec:
             return 0.0
         wire_bytes = 2.0 * (k - 1) / k * num_bytes
         return 2 * self.network.latency + wire_bytes / self.network.bandwidth
+
+
+#: Cluster backend registry (``RunConfig.backend``).  Entries are backend
+#: classes constructed as ``cls(system)``; use :func:`make_cluster_backend`.
+CLUSTER_BACKENDS = Registry("cluster backend")
+
+
+class ClusterBackend:
+    """Executes training epochs for a built SALIENT++ system.
+
+    A backend owns the *runtime placement* of the K logical machines —
+    threads of this process, worker processes, eventually real hosts —
+    while the system owns everything else (preprocessing artifacts, the
+    feature store layout, config).  Contract:
+
+    * :meth:`run_epoch` returns an
+      :class:`~repro.distributed.executor.EpochReport` that is functionally
+      identical across backends: same per-step losses, same
+      :class:`StepRecord` volumes, same ledger bytes, and an event trace
+      with the same shape (the parity suite compares them with
+      :func:`repro.pipeline.events.assert_trace_shape_equal`);
+    * :meth:`close` releases every runtime resource (processes, shared
+      memory, pipes) and is idempotent; backends with no external
+      resources inherit the no-op.
+    """
+
+    name: str = "?"
+
+    def __init__(self, system):
+        self.system = system
+
+    @property
+    def is_live(self) -> bool:
+        """True while the backend holds external runtime state (worker
+        processes mid-training) that a system mutation would invalidate."""
+        return False
+
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release runtime resources; idempotent."""
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def make_cluster_backend(name: str, system) -> ClusterBackend:
+    """Build the named backend for a system; unknown names raise with the
+    sorted list of registered backends."""
+    return CLUSTER_BACKENDS.get(name)(system)

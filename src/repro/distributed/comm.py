@@ -68,6 +68,35 @@ def gradient_nbytes(model: Module) -> int:
     return int(sum(p.data.size for p in model.parameters()) * 4)
 
 
+def average_gradient_arrays(
+    per_machine: List[List[Optional[np.ndarray]]],
+    templates: List[np.ndarray],
+) -> List[np.ndarray]:
+    """Average per-machine gradient lists parameter by parameter.
+
+    ``per_machine[k][i]`` is machine ``k``'s gradient for parameter ``i``
+    (``None`` if that machine's batch never touched it — it contributes a
+    scalar zero); ``templates[i]`` supplies the shape for the all-``None``
+    case.  The accumulation order is fixed — machine 0's gradient first,
+    then ``+ g_1 + g_2 ...``, then one division by K — and is the *single*
+    definition of the collective's floating-point semantics: the in-process
+    :func:`all_reduce_gradients` and the multiproc coordinator both call
+    this, which is what keeps their losses bit-identical.
+    """
+    k = len(per_machine)
+    if k == 0:
+        raise ValueError("no gradient sets to average")
+    out = []
+    for i, template in enumerate(templates):
+        avg = None
+        for grads in per_machine:
+            g = grads[i] if grads[i] is not None else 0.0
+            avg = g if avg is None else avg + g
+        avg = avg / k if not np.isscalar(avg) else np.zeros_like(template)
+        out.append(avg)
+    return out
+
+
 def all_reduce_gradients(
     models: List[Module],
     ledger: Optional[CommLedger] = None,
@@ -91,15 +120,13 @@ def all_reduce_gradients(
         ):
             raise ValueError("model replicas have mismatched parameters")
 
-    for key in keys:
-        params = [nd[key] for nd in named]
-        avg = None
-        for p in params:
-            g = p.grad if p.grad is not None else 0.0
-            avg = g if avg is None else avg + g
-        avg = avg / k if not np.isscalar(avg) else np.zeros_like(params[0].data)
-        for p in params:
-            p.grad = np.array(avg, copy=True)
+    averaged = average_gradient_arrays(
+        [[nd[key].grad for key in keys] for nd in named],
+        [named[0][key].data for key in keys],
+    )
+    for nd in named:
+        for key, avg in zip(keys, averaged):
+            nd[key].grad = np.array(avg, copy=True)
 
     if ledger is not None and k > 1:
         nbytes = gradient_nbytes(models[0])

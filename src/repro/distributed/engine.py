@@ -48,7 +48,7 @@ from repro.distributed.feature_store import FetchPlan, GatherArena
 from repro.nn.functional import cross_entropy
 from repro.sampling.mfg import MFG
 from repro.utils.registry import Registry
-from repro.utils.rng import derive_seed
+from repro.utils.rng import machine_stream_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.distributed.executor import DistributedTrainer, EpochReport
@@ -77,6 +77,24 @@ def make_engine(name: str, trainer: "DistributedTrainer", *,
     cls = ENGINES.get(name)
     return cls._build(trainer, pipeline_depth=pipeline_depth,
                       staleness=staleness)
+
+
+def train_batch(model, feats: np.ndarray, mfg: MFG,
+                labels: np.ndarray) -> float:
+    """Forward/backward one minibatch on one replica; returns the loss.
+
+    The single sequence of floating-point operations every cluster backend
+    runs per (machine, step): the in-process engines call it through
+    :meth:`ExecutionEngine._train_batch`, and multiproc workers call it
+    directly — which is what makes distributed losses bit-identical to the
+    in-process baseline rather than merely close.
+    """
+    model.train()
+    logits = model(feats, mfg)
+    loss = cross_entropy(logits, labels)
+    model.zero_grad()
+    loss.backward()
+    return loss.item()
 
 
 class PrefetchIterator:
@@ -146,7 +164,7 @@ class ExecutionEngine:
             tr.samplers[k].batches(
                 tr.local_train[k], tr.batch_size,
                 drop_last=True, epoch=epoch,
-                seed=derive_seed(tr.seed, "order", k),
+                seed=machine_stream_seed(tr.seed, "order", k),
             )
             for k in range(tr.num_machines)
         ]
@@ -166,13 +184,8 @@ class ExecutionEngine:
     def _train_batch(self, machine: int, feats: np.ndarray, mfg: MFG) -> float:
         """Forward/backward one batch on one replica; returns the loss."""
         tr = self.trainer
-        model = tr.models[machine]
-        model.train()
-        logits = model(feats, mfg)
-        loss = cross_entropy(logits, tr.ds.labels[mfg.seeds])
-        model.zero_grad()
-        loss.backward()
-        return loss.item()
+        return train_batch(tr.models[machine], feats, mfg,
+                           tr.ds.labels[mfg.seeds])
 
     def _make_record(self, machine: int, step: int, mfg: MFG, stats,
                      loss: Optional[float]):

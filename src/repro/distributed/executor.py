@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.distributed.cluster import CLUSTER_BACKENDS, ClusterBackend
 from repro.distributed.comm import (
     CommLedger,
     broadcast_state,
@@ -41,7 +42,7 @@ from repro.nn.optim import Adam
 from repro.partition.reorder import ReorderedDataset
 from repro.sampling.mfg import MFG
 from repro.sampling.neighbor import NeighborSampler
-from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.rng import SeedLike, derive_seed, machine_stream_seed
 
 
 def sage_forward_flops(
@@ -200,7 +201,7 @@ class DistributedTrainer:
 
         self.samplers = [
             NeighborSampler(self.ds.graph, self.fanouts,
-                            seed=derive_seed(seed, "sampler", k))
+                            seed=machine_stream_seed(seed, "sampler", k))
             for k in range(self.num_machines)
         ]
         self.models: List[MFGModel] = [
@@ -299,3 +300,17 @@ class DistributedTrainer:
                 if not np.array_equal(ref[k2], v):
                     return False
         return True
+
+
+@CLUSTER_BACKENDS.register("inprocess")
+class InProcessBackend(ClusterBackend):
+    """The default backend: K simulated machines inside this interpreter.
+
+    A thin adapter over the system's :class:`DistributedTrainer` — the
+    behaviour every other backend must reproduce bit-for-bit.
+    """
+
+    name = "inprocess"
+
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
+        return self.system.trainer.train_epoch(epoch, dry_run=dry_run)

@@ -248,11 +248,17 @@ class StaticCache:
             raise ValueError("cache_ids and cache_features must align")
         self._ids = ids
         self._rows = rows
+        # An empty cache skips the O(num_vertices) slot map entirely: a
+        # multiproc worker builds K MachineStores (peers cache-less), so a
+        # dense map per store would cost K*N int64 per worker for maps that
+        # can never hit.
+        if len(ids) == 0:
+            self._slot_of = None
+            return
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("duplicate cache ids")
         self._slot_of = np.full(num_vertices, -1, dtype=np.int64)
-        if len(ids):
-            if len(np.unique(ids)) != len(ids):
-                raise ValueError("duplicate cache ids")
-            self._slot_of[ids] = np.arange(len(ids))
+        self._slot_of[ids] = np.arange(len(ids))
 
     @property
     def ids(self) -> np.ndarray:
@@ -267,9 +273,15 @@ class StaticCache:
         return int(self._rows.nbytes)
 
     def contains(self, ids: np.ndarray) -> np.ndarray:
+        if self._slot_of is None:
+            return np.zeros(len(ids), dtype=bool)
         return self._slot_of[ids] >= 0
 
     def rows_for(self, ids: np.ndarray) -> np.ndarray:
+        if self._slot_of is None:
+            if len(ids):
+                raise ValueError("empty cache cannot serve rows")
+            return self._rows[:0]
         return self._rows[self._slot_of[ids]]
 
 

@@ -1,0 +1,1087 @@
+"""Multiproc cluster backend: one worker process per logical machine.
+
+The in-process backend *simulates* K machines inside one interpreter; this
+module runs them as K real worker processes, which is the gateway to every
+wall-clock scale claim the repo makes.  The contract is strict functional
+parity: a multiproc epoch produces bit-identical per-step losses, identical
+:class:`StepRecord` volumes, an identical :class:`CommLedger`, and a stage-
+event trace of identical shape to the in-process engines — the differential
+test suite (``tests/distributed/test_multiproc_parity.py``) holds it to all
+four.
+
+Architecture
+------------
+The **coordinator** (this process) builds the system as usual, then:
+
+* copies each machine's local feature rows, the reordered graph's CSR
+  arrays, and the labels into ``multiprocessing.shared_memory`` segments;
+* spawns one worker per machine (``spawn`` context — no inherited state)
+  with a picklable :class:`WorkerSpec` naming the segments and carrying the
+  machine's config slice (seeds, fanouts, model hyperparameters, its cache
+  selection and train ids);
+* drives epochs over duplex pipes using the :mod:`repro.distributed.wire`
+  format, receiving per-step messages in machine order (determinism),
+  averaging gradients with the in-process collective's exact operation
+  order (:func:`~repro.distributed.comm.average_gradient_arrays`), and
+  assembling the epoch's :class:`EpochReport`.
+
+Each **worker** attaches the segments read-only (with
+``multiprocessing.resource_tracker`` registration suppressed — the
+coordinator owns the lifecycle, so only its create/unlink pair is ever
+tracked) and rebuilds its machine's runtime from the spec: a
+:class:`NeighborSampler` seeded with
+:func:`~repro.utils.rng.machine_stream_seed` (spawn-order independent), a
+model replica seeded exactly as the in-process trainer's, and a
+:class:`PartitionedFeatureStore` whose K stores are views into the shared
+segments — so "remote" fetches really cross a process boundary in plan
+terms while the rows come from shared memory.
+
+Workers send their :class:`FetchPlan`\\ s (and the pipelined engine's
+:class:`CoalescedFetchPlan`\\ s) over the wire; the coordinator *audits*
+every plan against the reported gather stats (recomputing per-peer owners
+from the reorder offsets), so the wire codecs sit on the hot path and a
+worker that miscounts its remote rows fails the epoch loudly.
+
+Failure semantics: a worker that dies, hangs past the timeout, or reports
+an exception raises :class:`WorkerFailedError`; the backend then shuts the
+whole cluster down — every worker terminated and joined, every pipe closed,
+every shared-memory segment unlinked — before the error propagates.  A
+``weakref.finalize`` guard performs the same cleanup at interpreter exit if
+a caller forgets :meth:`MultiprocBackend.close`.
+
+Scope: ``bsp`` and ``pipelined`` engines, static caches, partitioned
+storage.  Dynamic caches mutate per-gather (workers attach read-only) and
+``async`` applies local updates between barriers; both are rejected at
+validation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import secrets
+import sys
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.cluster import CLUSTER_BACKENDS, ClusterBackend
+from repro.distributed.comm import (
+    CommLedger,
+    average_gradient_arrays,
+    gradient_nbytes,
+)
+from repro.distributed.engine import PrefetchIterator, train_batch
+from repro.distributed.executor import EpochReport, StepRecord, _candidate_edges
+from repro.distributed.feature_store import (
+    FetchPlan,
+    GatherArena,
+    GatherStats,
+    MachineStore,
+    PartitionedFeatureStore,
+)
+from repro.distributed.wire import (
+    WireError,
+    decode_coalesced_plan,
+    decode_fetch_plan,
+    encode_coalesced_plan,
+    encode_fetch_plan,
+    pack_message,
+    unpack_message,
+)
+from repro.utils.rng import derive_seed, machine_stream_seed
+
+# NOTE: repro.pipeline modules are imported lazily inside functions — same
+# import-cycle constraint as repro.distributed.engine.
+
+#: Engines the multiproc backend can schedule (async applies local updates
+#: between barriers, which has no lock-step wire protocol).
+SUPPORTED_ENGINES = ("bsp", "pipelined")
+
+_READY_TIMEOUT_S = 120.0
+
+
+class WorkerFailedError(RuntimeError):
+    """A worker process died, hung, or violated the wire protocol.
+
+    Raised by the coordinator *after* it has shut the whole cluster down
+    (no orphan processes, no leaked shared-memory segments remain).
+    """
+
+    def __init__(self, message: str, machine: Optional[int] = None):
+        super().__init__(message)
+        self.machine = machine
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One shared-memory segment: name + the array layout inside it."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one worker needs to rebuild its machine's runtime.
+
+    Plain picklable data only (ints, strings, ndarrays, segment names) —
+    the spawn context pickles it into the child.  Seeds arrive fully
+    derived: the coordinator computes each machine's stream seeds with
+    :func:`machine_stream_seed` (functions of run seed, stream name, and
+    machine id only), so a worker's RNG streams can never depend on spawn
+    order, pids, or import order — and are exactly the in-process
+    trainer's streams for the same machine.
+    """
+
+    machine: int
+    num_machines: int
+    sampler_seed: int
+    order_seed: int
+    model_seed: int
+    num_vertices: int
+    num_classes: int
+    feature_dim: int
+    fanouts: Tuple[int, ...]
+    batch_size: int
+    hidden_dim: int
+    arch: str
+    dropout: float
+    lr: float
+    engine: str
+    pipeline_depth: int
+    steps_per_epoch: int
+    gpu_rows: int
+    part_offsets: np.ndarray
+    local_train: np.ndarray
+    cache_ids: np.ndarray
+    segments: Dict[str, SegmentSpec]  # "feat0".."featK-1", "indptr", "indices", "labels"
+    #: Fault injection: ``(epoch, step)`` at which this worker hard-exits
+    #: (``os._exit``) mid-epoch, before reporting the step.  Test-only.
+    fail_at: Optional[Tuple[int, int]] = None
+
+
+class _PartMap:
+    """Worker-side stand-in for :class:`ReorderedDataset`: the reorder
+    offsets are all the feature store needs (ownership bisection and part
+    ranges), so workers never ship the dataset itself."""
+
+    def __init__(self, part_offsets: np.ndarray):
+        self.part_offsets = np.asarray(part_offsets, dtype=np.int64)
+        self.num_parts = len(self.part_offsets) - 1
+
+    def owner_of(self, new_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(new_ids, dtype=np.int64)
+        return np.searchsorted(self.part_offsets, ids, side="right") - 1
+
+    def part_range(self, k: int) -> Tuple[int, int]:
+        return int(self.part_offsets[k]), int(self.part_offsets[k + 1])
+
+
+# ----------------------------------------------------------------------
+# record / event codecs (dict payloads for repro.distributed.wire)
+# ----------------------------------------------------------------------
+
+def _encode_stats(g: GatherStats) -> dict:
+    return {
+        "total_rows": g.total_rows,
+        "gpu_rows": g.gpu_rows,
+        "cpu_rows": g.cpu_rows,
+        "cached_rows": g.cached_rows,
+        "remote_rows": g.remote_rows,
+        "remote_per_peer": g.remote_per_peer,
+        "cache_insertions": g.cache_insertions,
+        "cache_evictions": g.cache_evictions,
+        "refresh_fetch_per_peer": g.refresh_fetch_per_peer,
+        "coalesced_rows": g.coalesced_rows,
+    }
+
+
+def _encode_record(rec: StepRecord) -> dict:
+    return {
+        "machine": rec.machine,
+        "step": rec.step,
+        "batch_size": rec.batch_size,
+        "mfg_vertices": rec.mfg_vertices,
+        "mfg_edges": rec.mfg_edges,
+        "candidate_edges": rec.candidate_edges,
+        "block_sizes": rec.block_sizes,
+        "gather": _encode_stats(rec.gather),
+        "loss": rec.loss,
+    }
+
+
+def _decode_record(fields: dict) -> StepRecord:
+    g = dict(fields["gather"])
+    return StepRecord(
+        machine=fields["machine"],
+        step=fields["step"],
+        batch_size=fields["batch_size"],
+        mfg_vertices=fields["mfg_vertices"],
+        mfg_edges=fields["mfg_edges"],
+        candidate_edges=fields["candidate_edges"],
+        block_sizes=tuple(tuple(b) for b in fields["block_sizes"]),
+        gather=GatherStats(**g),
+        loss=fields["loss"],
+    )
+
+
+def _encode_events(events) -> list:
+    return [(ev.stage.value, ev.machine, ev.step, list(ev.volumes))
+            for ev in events]
+
+
+def _decode_events(raw: list):
+    from repro.pipeline.events import Stage, StageEvent
+
+    return [StageEvent(stage=Stage(stage), machine=machine, step=step,
+                       volumes=tuple((key, val) for key, val in volumes))
+            for stage, machine, step, volumes in raw]
+
+
+# ----------------------------------------------------------------------
+# shared-memory plumbing
+# ----------------------------------------------------------------------
+
+def _create_segment(name: str, arr: np.ndarray):
+    """Create + fill one segment; returns ``(SharedMemory, SegmentSpec)``.
+
+    No numpy view of the buffer survives this function — the coordinator
+    must be able to ``close()``/``unlink()`` without BufferError.
+    """
+    shm = shared_memory.SharedMemory(create=True, name=name,
+                                     size=max(int(arr.nbytes), 1))
+    if arr.size:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        del view
+    spec = SegmentSpec(name=shm.name, shape=tuple(arr.shape),
+                       dtype=arr.dtype.str)
+    return shm, spec
+
+
+def _attach_segment(spec: SegmentSpec):
+    """Attach one segment read-only; returns ``(SharedMemory, view)``.
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker, which the coordinator's later ``unlink`` would then
+    double-unregister (the tracker keys by name, shared across the spawn
+    tree) — and a worker dying uncleanly would make the tracker unlink a
+    segment it does not own.  The coordinator created the segment and owns
+    its lifecycle, so the attach is made invisible to the tracker
+    (``track=False`` is the 3.13+ spelling of the same thing).
+    """
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        shm = shared_memory.SharedMemory(name=spec.name)
+    finally:
+        resource_tracker.register = orig_register
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return shm, view
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+class _WorkerRuntime:
+    """One machine's runtime inside its worker process."""
+
+    def __init__(self, spec: WorkerSpec, conn):
+        from repro.graph.csr import CSRGraph
+        from repro.nn.models import build_model
+        from repro.nn.optim import Adam
+        from repro.sampling.neighbor import NeighborSampler
+
+        self.spec = spec
+        self.conn = conn
+        k, K = spec.machine, spec.num_machines
+
+        # Attach every segment; keep the SharedMemory objects alive for the
+        # process lifetime (views borrow their buffers).
+        self._shms = []
+        views = {}
+        for key, seg in spec.segments.items():
+            shm, view = _attach_segment(seg)
+            self._shms.append(shm)
+            views[key] = view
+        self.labels = views["labels"]
+        self.graph = CSRGraph(views["indptr"], views["indices"], check=False)
+
+        part_map = _PartMap(spec.part_offsets)
+        dim = spec.feature_dim
+        feat_dtype = views["feat0"].dtype
+        empty_ids = np.empty(0, dtype=np.int64)
+        empty_rows = np.empty((0, dim), dtype=feat_dtype)
+
+        # This machine's cache rows, gathered from the owners' segments —
+        # bit-identical to the build-time ds.features[cache_ids] slice.
+        cache_ids = np.asarray(spec.cache_ids, dtype=np.int64)
+        cache_rows = np.empty((len(cache_ids), dim), dtype=feat_dtype)
+        if len(cache_ids):
+            owners = part_map.owner_of(cache_ids)
+            for peer in np.unique(owners):
+                sel = owners == peer
+                lo, _hi = part_map.part_range(int(peer))
+                cache_rows[sel] = views[f"feat{int(peer)}"][cache_ids[sel] - lo]
+
+        stores = []
+        for j in range(K):
+            lo, hi = part_map.part_range(j)
+            stores.append(MachineStore(
+                part_id=j, lo=lo, hi=hi,
+                local_features=views[f"feat{j}"],
+                gpu_rows=spec.gpu_rows if j == k else 0,
+                cache_ids=cache_ids if j == k else empty_ids,
+                cache_features=cache_rows if j == k else empty_rows,
+                num_vertices=spec.num_vertices,
+            ))
+        self.store = PartitionedFeatureStore(stores, part_map, dim,
+                                             feat_dtype.itemsize)
+
+        # Seeding mirrors DistributedTrainer exactly: the sampler stream
+        # seed is this machine's machine_stream_seed (spawn-order
+        # independent), the model seed is shared by every replica
+        # (identical initial weights, no broadcast needed).
+        self.sampler = NeighborSampler(self.graph, spec.fanouts,
+                                       seed=spec.sampler_seed)
+        self.model = build_model(
+            spec.arch, dim, spec.hidden_dim, spec.num_classes,
+            len(spec.fanouts), dropout=spec.dropout,
+            seed=spec.model_seed,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=spec.lr)
+        self.degrees = self.graph.degrees
+        self.arena = GatherArena()
+        self.dims = (dim, spec.hidden_dim, spec.num_classes)
+
+    # -- protocol ------------------------------------------------------
+    def send(self, kind: str, payload) -> None:
+        self.conn.send_bytes(pack_message(kind, payload))
+
+    def recv(self) -> Tuple[str, object]:
+        return unpack_message(self.conn.recv_bytes())
+
+    def serve(self) -> None:
+        self.send("ready", {"machine": self.spec.machine, "pid": os.getpid()})
+        while True:
+            kind, payload = self.recv()
+            if kind == "stop":
+                return
+            if kind != "run":
+                raise RuntimeError(f"unexpected coordinator message {kind!r}")
+            self.run_epoch(payload["epoch"], payload["dry_run"])
+
+    # -- training ------------------------------------------------------
+    def _batches(self, epoch: int):
+        return self.sampler.batches(
+            self.spec.local_train, self.spec.batch_size,
+            drop_last=True, epoch=epoch,
+            seed=self.spec.order_seed,
+        )
+
+    def _make_record(self, step: int, mfg, stats, loss) -> StepRecord:
+        return StepRecord(
+            machine=self.spec.machine,
+            step=step,
+            batch_size=mfg.batch_size,
+            mfg_vertices=mfg.num_vertices,
+            mfg_edges=mfg.num_edges,
+            candidate_edges=_candidate_edges(self.degrees, mfg),
+            block_sizes=tuple(
+                (b.num_src, b.num_dst, b.num_edges) for b in mfg.blocks
+            ),
+            gather=stats,
+            loss=loss,
+        )
+
+    def _grads(self) -> list:
+        return [p.grad for _name, p in self.model.named_parameters()]
+
+    def _apply_avg(self, grads: list) -> None:
+        params = [p for _name, p in self.model.named_parameters()]
+        if len(grads) != len(params):
+            raise RuntimeError("gradient count mismatch from coordinator")
+        for p, g in zip(params, grads):
+            p.grad = g
+        self.optimizer.step()
+
+    def _maybe_fail(self, epoch: int, step_lo: int, step_hi: int) -> None:
+        fail = self.spec.fail_at
+        if fail is not None and fail[0] == epoch and step_lo <= fail[1] < step_hi:
+            os._exit(13)  # simulated hard crash (no cleanup, no goodbye)
+
+    def run_epoch(self, epoch: int, dry_run: bool) -> None:
+        from repro.pipeline.events import emit_step_events
+
+        spec = self.spec
+        k = spec.machine
+        events = _EventSink()
+        if spec.engine == "bsp":
+            iterator = self._batches(epoch)
+            for step in range(spec.steps_per_epoch):
+                mfg = next(iterator)
+                plan = self.store.plan_gather(k, mfg.n_id)
+                feats, stats = self.store.execute(
+                    plan, out=self.arena.out((k, 0), len(mfg.n_id),
+                                             spec.feature_dim, feats_dtype(self)),
+                )
+                self._maybe_fail(epoch, step, step + 1)
+                loss = grads = None
+                if not dry_run:
+                    loss = train_batch(self.model, feats, mfg,
+                                       self.labels[mfg.seeds])
+                    grads = self._grads()
+                rec = self._make_record(step, mfg, stats, loss)
+                emit_step_events(events, rec, 0, self.dims, window_start=step)
+                self.send("step", {
+                    "step": step,
+                    "record": _encode_record(rec),
+                    "plan": encode_fetch_plan(plan),
+                    "grads": grads,
+                })
+                if not dry_run:
+                    kind, payload = self.recv()
+                    if kind != "avg":
+                        raise RuntimeError(f"expected avg, got {kind!r}")
+                    self._apply_avg(payload["grads"])
+        elif spec.engine == "pipelined":
+            self._run_pipelined_epoch(epoch, dry_run, events)
+        else:  # pragma: no cover - validated coordinator-side
+            raise RuntimeError(f"unsupported engine {spec.engine!r}")
+
+        state = None
+        if not dry_run:
+            state = dict(self.model.state_dict())
+        self.send("done", {"events": _encode_events(events.events),
+                           "state": state})
+
+    def _run_pipelined_epoch(self, epoch: int, dry_run: bool, events) -> None:
+        from repro.pipeline.events import emit_step_events
+
+        spec = self.spec
+        k = spec.machine
+        steps, depth = spec.steps_per_epoch, spec.pipeline_depth
+        prefetcher = PrefetchIterator(self._batches(epoch), depth)
+        for w0 in range(0, steps, depth):
+            w1 = min(w0 + depth, steps)
+            width = w1 - w0
+            mfgs = prefetcher.next_window(width)
+            if len(mfgs) != width:
+                raise RuntimeError(
+                    f"machine {k} batch stream ended early "
+                    f"({len(mfgs)}/{width} batches in window {w0})"
+                )
+            plans = [self.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
+            cplan = FetchPlan.coalesce(plans)
+            results = self.store.execute_coalesced(
+                cplan,
+                outs=[self.arena.out((k, i), len(p.ids), spec.feature_dim,
+                                     feats_dtype(self))
+                      for i, p in enumerate(plans)],
+            )
+            self._maybe_fail(epoch, w0, w1)
+            recs = [self._make_record(s, mfgs[i], results[i][1], None)
+                    for i, s in enumerate(range(w0, w1))]
+            for rec in recs:
+                emit_step_events(events, rec, 0, self.dims, window_start=w0)
+            self.send("window", {
+                "w0": w0,
+                "records": [_encode_record(r) for r in recs],
+                "cplan": encode_coalesced_plan(cplan),
+            })
+            if not dry_run:
+                for i, s in enumerate(range(w0, w1)):
+                    loss = train_batch(self.model, results[i][0], mfgs[i],
+                                       self.labels[mfgs[i].seeds])
+                    self.send("wstep", {"step": s, "loss": loss,
+                                        "grads": self._grads()})
+                    kind, payload = self.recv()
+                    if kind != "avg":
+                        raise RuntimeError(f"expected avg, got {kind!r}")
+                    self._apply_avg(payload["grads"])
+
+
+class _EventSink:
+    """Minimal stand-in for an EventTrace on the worker side: collects the
+    per-step events ``emit_step_events`` emits; the coordinator merges them
+    into the real trace."""
+
+    def __init__(self):
+        self.events = []
+
+    def add(self, stage, machine, step, **volumes):
+        from repro.pipeline.events import StageEvent
+
+        self.events.append(StageEvent(stage=stage, machine=machine, step=step,
+                                      volumes=tuple(volumes.items())))
+
+
+def feats_dtype(runtime: _WorkerRuntime) -> np.dtype:
+    return runtime.store.stores[runtime.spec.machine].local_features.dtype
+
+
+def _worker_main(spec: WorkerSpec, conn) -> None:
+    """Worker process entry point (must be module-level for spawn)."""
+    try:
+        runtime = _WorkerRuntime(spec, conn)
+        runtime.serve()
+    except (EOFError, BrokenPipeError, OSError):
+        # The coordinator went away; nothing to report to.
+        os._exit(1)
+    except Exception:
+        try:
+            conn.send_bytes(pack_message("error", {
+                "machine": spec.machine,
+                "traceback": traceback.format_exc(),
+            }))
+        except Exception:
+            pass
+        os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+
+@contextlib.contextmanager
+def _spawn_safe_main():
+    """Make ``Process.start()`` safe when ``__main__`` has no real file.
+
+    The spawn context re-imports the parent's ``__main__`` in every child;
+    with code fed via stdin (``python -``, heredocs) the recorded path is
+    the pseudo-file ``"<stdin>"`` and the child dies in ``runpy`` before
+    reaching the worker target.  Our workers are self-contained (the target
+    is this module's :func:`_worker_main`, the state a picklable spec), so
+    when the main module's file does not actually exist we drop its
+    ``__file__`` for the duration of the spawn — ``get_preparation_data``
+    then skips the main-module fixup entirely.
+    """
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    strip = (path is not None
+             and getattr(main, "__spec__", None) is None
+             and not os.path.exists(path))
+    if strip:
+        del main.__file__
+    try:
+        yield
+    finally:
+        if strip and not hasattr(main, "__file__"):
+            main.__file__ = path
+
+
+@CLUSTER_BACKENDS.register("multiproc")
+class MultiprocBackend(ClusterBackend):
+    """Coordinator for K worker processes over shared-memory segments.
+
+    Built lazily: the first :meth:`run_epoch` creates the segments and
+    spawns the workers; they persist across epochs (sampler and optimizer
+    state live worker-side, exactly as the in-process trainer's persists
+    across epochs).  After a non-dry epoch the synchronized model weights
+    are loaded back into the system's in-process replicas, so
+    ``system.evaluate()`` sees the trained model.
+
+    Parameters
+    ----------
+    system:
+        A built :class:`~repro.core.system.SalientPP` (``bsp`` or
+        ``pipelined`` engine, static caches, partitioned storage).
+    timeout_s:
+        Per-message coordinator patience before declaring a worker hung.
+    fault_injection:
+        Test hook: ``{machine: (epoch, step)}`` hard-kills the machine's
+        worker mid-epoch at that point.
+    """
+
+    name = "multiproc"
+
+    def __init__(self, system, *, timeout_s: float = 120.0,
+                 fault_injection: Optional[Dict[int, Tuple[int, int]]] = None):
+        super().__init__(system)
+        store = system.trainer.store
+        engine = system.config.engine
+        if engine not in SUPPORTED_ENGINES:
+            raise ValueError(
+                f"multiproc backend supports engines {SUPPORTED_ENGINES}, "
+                f"got {engine!r}"
+            )
+        if store.has_dynamic_caches:
+            raise ValueError(
+                "multiproc backend requires static caches: workers attach "
+                "feature segments read-only, dynamic caches mutate per gather"
+            )
+        if store.is_replicated:
+            raise ValueError(
+                "multiproc backend requires partitioned storage; full "
+                "replication would copy the whole feature matrix per segment"
+            )
+        self.timeout_s = float(timeout_s)
+        self.fault_injection = dict(fault_injection or {})
+        self._started = False
+        self._procs: List = []
+        self._conns: List = []
+        self._segments: List = []
+        self.segment_names: List[str] = []
+        #: Per-machine specs shipped to the workers (set by start()) —
+        #: inspectable so tests can assert the derived seed contract.
+        self.worker_specs: List[WorkerSpec] = []
+        self._finalizer = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def is_live(self) -> bool:
+        return self._started and self._finalizer is not None \
+            and self._finalizer.alive
+
+    @property
+    def processes(self) -> List:
+        """The worker Process objects (test hook; empty before start)."""
+        return list(self._procs)
+
+    def start(self) -> None:
+        """Create segments, spawn workers, wait for the ready handshake."""
+        if self._started:
+            return
+        tr = self.system.trainer
+        K = tr.num_machines
+        prefix = f"rpmp{secrets.token_hex(4)}"
+        ctx = get_context("spawn")
+
+        specs: Dict[str, SegmentSpec] = {}
+        try:
+            arrays = {f"feat{k}": tr.store.stores[k].local_features
+                      for k in range(K)}
+            arrays["indptr"] = tr.ds.graph.indptr
+            arrays["indices"] = tr.ds.graph.indices
+            arrays["labels"] = tr.ds.labels
+            for key, arr in arrays.items():
+                shm, seg = _create_segment(f"{prefix}{key}", arr)
+                self._segments.append(shm)
+                self.segment_names.append(seg.name)
+                specs[key] = seg
+
+            cfg = self.system.config
+            for k in range(K):
+                spec = WorkerSpec(
+                    machine=k,
+                    num_machines=K,
+                    sampler_seed=machine_stream_seed(tr.seed, "sampler", k),
+                    order_seed=machine_stream_seed(tr.seed, "order", k),
+                    model_seed=derive_seed(tr.seed, "model"),
+                    num_vertices=tr.ds.num_vertices,
+                    num_classes=tr.ds.num_classes,
+                    feature_dim=tr.ds.feature_dim,
+                    fanouts=tr.fanouts,
+                    batch_size=tr.batch_size,
+                    hidden_dim=tr.hidden_dim,
+                    arch=tr.arch,
+                    dropout=float(cfg.dropout),
+                    lr=float(cfg.lr),
+                    engine=cfg.engine,
+                    pipeline_depth=int(cfg.pipeline_depth),
+                    steps_per_epoch=tr.steps_per_epoch(),
+                    gpu_rows=tr.store.stores[k].gpu_rows,
+                    part_offsets=np.asarray(tr.reordered.part_offsets,
+                                            dtype=np.int64),
+                    local_train=tr.local_train[k],
+                    cache_ids=np.asarray(tr.store.stores[k].cache_ids,
+                                         dtype=np.int64),
+                    segments=specs,
+                    fail_at=self.fault_injection.get(k),
+                )
+                self.worker_specs.append(spec)
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(target=_worker_main, args=(spec, child),
+                                   daemon=True, name=f"repro-mp-worker-{k}")
+                with _spawn_safe_main():
+                    proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+
+            self._started = True
+            self._finalizer = weakref.finalize(
+                self, MultiprocBackend._cleanup,
+                self._procs, self._conns, self._segments,
+            )
+            deadline = time.monotonic() + _READY_TIMEOUT_S
+            for k in range(K):
+                kind, _payload = self._recv(k, deadline=deadline)
+                if kind != "ready":
+                    self._fail(k, f"expected ready handshake, got {kind!r}")
+        except WorkerFailedError:
+            raise
+        except Exception:
+            self._started = True  # make close() tear down what exists
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Stop workers and release every runtime resource; idempotent."""
+        if self._finalizer is not None:
+            self._finalizer()  # runs _cleanup at most once
+        elif self._segments:
+            # start() failed before the finalizer existed.
+            MultiprocBackend._cleanup(self._procs, self._conns, self._segments)
+
+    @staticmethod
+    def _cleanup(procs, conns, segments) -> None:
+        """Full teardown: polite stop, escalate to terminate/kill, close
+        pipes, unlink segments.  Static + in-place so the ``weakref``
+        finalizer can run it without resurrecting the backend."""
+        for conn in conns:
+            try:
+                conn.send_bytes(pack_message("stop", None))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            try:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:
+                pass
+        for escalate in ("terminate", "kill"):
+            if not any(p.is_alive() for p in procs):
+                break
+            for proc in procs:
+                if proc.is_alive():
+                    getattr(proc, escalate)()
+            for proc in procs:
+                try:
+                    proc.join(timeout=5.0)
+                except Exception:
+                    pass
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        conns.clear()
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        segments.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._started and not self.is_live
+
+    # -- wire helpers --------------------------------------------------
+    def _fail(self, machine: Optional[int], why: str) -> None:
+        self.close()
+        raise WorkerFailedError(
+            f"worker {machine}: {why}" if machine is not None else why,
+            machine=machine,
+        )
+
+    def _send(self, k: int, kind: str, payload) -> None:
+        try:
+            self._conns[k].send_bytes(pack_message(kind, payload))
+        except (BrokenPipeError, OSError):
+            self._fail(k, "pipe closed while sending")
+
+    def _recv(self, k: int, deadline: Optional[float] = None):
+        conn, proc = self._conns[k], self._procs[k]
+        if deadline is None:
+            deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                if conn.poll(0.02):
+                    data = conn.recv_bytes()
+                    break
+            except (EOFError, OSError):
+                self._fail(k, "connection closed mid-epoch")
+            if not proc.is_alive():
+                # Drain anything the worker flushed before dying.
+                try:
+                    if conn.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                self._fail(k, f"process died (exit code {proc.exitcode})")
+            if time.monotonic() > deadline:
+                self._fail(k, f"no message within {self.timeout_s:.0f}s")
+        try:
+            kind, payload = unpack_message(data)
+        except WireError as exc:
+            self._fail(k, f"malformed message: {exc}")
+        if kind == "error":
+            tb = payload.get("traceback", "") if isinstance(payload, dict) else ""
+            self._fail(k, f"worker raised:\n{tb}")
+        return kind, payload
+
+    def _expect(self, k: int, want: str):
+        kind, payload = self._recv(k)
+        if kind != want:
+            self._fail(k, f"expected {want!r} message, got {kind!r}")
+        return payload
+
+    def _ledger_fetch(self, ledger: CommLedger, machine: int, stats) -> None:
+        """Byte accounting identical to ``ExecutionEngine._record_fetch``."""
+        bpr = self.system.trainer.store.bytes_per_row
+        ledger.record_feature_fetch(machine, stats.remote_per_peer, bpr)
+        if stats.refresh_fetch_per_peer is not None:
+            ledger.record_feature_fetch(machine, stats.refresh_fetch_per_peer,
+                                        bpr)
+
+    # -- plan audits ---------------------------------------------------
+    def _audit_plan(self, plan: FetchPlan, rec: StepRecord, k: int,
+                    step: int) -> None:
+        """Cross-check a worker's wire plan against its reported stats."""
+        g = rec.gather
+        reordered = self.system.trainer.reordered
+        K = self.system.trainer.num_machines
+        ok = (plan.machine == k == rec.machine and rec.step == step
+              and len(plan.ids) == g.total_rows
+              and len(plan.cached_ids) == g.cached_rows
+              and plan.gpu_rows == g.gpu_rows
+              and plan.cpu_rows == g.cpu_rows)
+        if ok:
+            if g.coalesced_rows:
+                ok = len(plan.remote_ids) == g.remote_rows + g.coalesced_rows
+            else:
+                ok = len(plan.remote_ids) == g.remote_rows
+                counts = np.bincount(reordered.owner_of(plan.remote_ids),
+                                     minlength=K) if len(plan.remote_ids) \
+                    else np.zeros(K, dtype=np.int64)
+                ok = ok and np.array_equal(counts, g.remote_per_peer)
+        if not ok:
+            self._fail(k, f"step {step}: fetch plan disagrees with "
+                          f"reported gather stats")
+
+    def _audit_cplan(self, cplan, recs: List[StepRecord], k: int,
+                     w0: int) -> None:
+        reordered = self.system.trainer.reordered
+        K = self.system.trainer.num_machines
+        if len(cplan.plans) != len(recs) or cplan.machine != k:
+            self._fail(k, f"window {w0}: coalesced plan shape mismatch")
+        for i, (rec, plan, fresh) in enumerate(
+                zip(recs, cplan.plans, cplan.first_request)):
+            self._audit_plan(plan, rec, k, w0 + i)
+            g = rec.gather
+            fresh_ids = plan.remote_ids[fresh]
+            counts = np.bincount(reordered.owner_of(fresh_ids), minlength=K) \
+                if len(fresh_ids) else np.zeros(K, dtype=np.int64)
+            if (int(fresh.sum()) != g.remote_rows
+                    or int(len(plan.remote_ids) - fresh.sum()) != g.coalesced_rows
+                    or not np.array_equal(counts, g.remote_per_peer)):
+                self._fail(k, f"window {w0} sub-plan {i}: coalesced plan "
+                              f"disagrees with reported gather stats")
+
+    # -- epochs --------------------------------------------------------
+    def run_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
+        if self._started and not self.is_live:
+            raise RuntimeError("multiproc backend is closed")
+        self.start()
+        try:
+            if self.system.config.engine == "bsp":
+                return self._run_bsp(epoch, dry_run)
+            return self._run_pipelined(epoch, dry_run)
+        except WorkerFailedError:
+            raise
+        except Exception:
+            self.close()
+            raise
+
+    def _broadcast_run(self, epoch: int, dry_run: bool) -> None:
+        for k in range(self.system.trainer.num_machines):
+            self._send(k, "run", {"epoch": epoch, "dry_run": dry_run})
+
+    def _average_and_reply(self, grads_per_machine: List[list],
+                           ledger: CommLedger) -> None:
+        tr = self.system.trainer
+        templates = [p.data for _n, p in tr.models[0].named_parameters()]
+        for k, grads in enumerate(grads_per_machine):
+            if grads is None or len(grads) != len(templates):
+                self._fail(k, "gradient payload shape mismatch")
+        averaged = average_gradient_arrays(grads_per_machine, templates)
+        for k in range(len(grads_per_machine)):
+            self._send(k, "avg", {"grads": averaged})
+        if len(grads_per_machine) > 1:
+            ledger.record_all_reduce(
+                2.0 * (len(grads_per_machine) - 1) / len(grads_per_machine)
+                * gradient_nbytes(tr.models[0])
+            )
+
+    def _finish_report(self, epoch, records, ledger, losses, steps, trace,
+                       states) -> EpochReport:
+        tr = self.system.trainer
+        if states:
+            # Post-allreduce weights are identical on every worker; load
+            # them into every in-process replica so evaluate() works.
+            for model in tr.models:
+                model.load_state_dict(states[0])
+        return EpochReport(
+            epoch=epoch,
+            records=records,
+            ledger=ledger,
+            mean_loss=float(np.mean(losses)) if losses else None,
+            steps_per_machine=steps,
+            cache_churn=None,
+            events=trace.validate(),
+        )
+
+    def _run_bsp(self, epoch: int, dry_run: bool) -> EpochReport:
+        from repro.pipeline.costmodel import served_rows_matrix
+        from repro.pipeline.events import (
+            EventTrace,
+            Stage,
+            emit_window_comm_events,
+        )
+
+        tr = self.system.trainer
+        K = tr.num_machines
+        steps = tr.steps_per_epoch()
+        ledger = CommLedger(K)
+        records: List[StepRecord] = []
+        losses: List[float] = []
+        trace = EventTrace(
+            engine="bsp", num_machines=K, num_steps=steps,
+            windows=[(s, s + 1) for s in range(steps)],
+            allreduce_steps=list(range(steps)),
+        )
+        self._broadcast_run(epoch, dry_run)
+        for step in range(steps):
+            step_records: List[StepRecord] = []
+            grads_per_machine: List[list] = []
+            for k in range(K):
+                payload = self._expect(k, "step")
+                try:
+                    rec = _decode_record(payload["record"])
+                    plan = decode_fetch_plan(payload["plan"])
+                except (WireError, KeyError, TypeError) as exc:
+                    self._fail(k, f"undecodable step payload: {exc}")
+                self._audit_plan(plan, rec, k, step)
+                records.append(rec)
+                step_records.append(rec)
+                self._ledger_fetch(ledger, k, rec.gather)
+                grads_per_machine.append(payload["grads"])
+            served = served_rows_matrix(step_records, K)
+            for k, rec in enumerate(step_records):
+                emit_window_comm_events(
+                    trace, step, k,
+                    rec.gather.remote_rows + rec.gather.refresh_fetch_rows,
+                    int(served[k]), mfg_edges=rec.mfg_edges,
+                )
+            trace.add(Stage.ALLREDUCE, -1, step)
+            if not dry_run:
+                self._average_and_reply(grads_per_machine, ledger)
+                losses.extend(rec.loss for rec in step_records)
+        states = self._collect_done(trace, dry_run)
+        return self._finish_report(epoch, records, ledger, losses, steps,
+                                   trace, states)
+
+    def _run_pipelined(self, epoch: int, dry_run: bool) -> EpochReport:
+        from repro.pipeline.costmodel import served_rows_matrix
+        from repro.pipeline.events import (
+            EventTrace,
+            Stage,
+            emit_window_comm_events,
+        )
+
+        tr = self.system.trainer
+        K = tr.num_machines
+        steps = tr.steps_per_epoch()
+        depth = int(self.system.config.pipeline_depth)
+        windows = [(w, min(w + depth, steps)) for w in range(0, steps, depth)]
+        ledger = CommLedger(K)
+        records: List[StepRecord] = []
+        losses: List[float] = []
+        trace = EventTrace(
+            engine="pipelined", num_machines=K, num_steps=steps,
+            windows=windows, allreduce_steps=list(range(steps)),
+        )
+        self._broadcast_run(epoch, dry_run)
+        for w0, w1 in windows:
+            width = w1 - w0
+            window_recs: List[List[StepRecord]] = []
+            for k in range(K):
+                payload = self._expect(k, "window")
+                try:
+                    recs = [_decode_record(r) for r in payload["records"]]
+                    cplan = decode_coalesced_plan(payload["cplan"])
+                except (WireError, KeyError, TypeError) as exc:
+                    self._fail(k, f"undecodable window payload: {exc}")
+                if payload["w0"] != w0 or len(recs) != width:
+                    self._fail(k, f"window {w0}: wrong window reported")
+                self._audit_cplan(cplan, recs, k, w0)
+                for rec in recs:
+                    self._ledger_fetch(ledger, k, rec.gather)
+                window_recs.append(recs)
+
+            # Records in (step, machine) order, as the in-process engine.
+            step_records: List[List[StepRecord]] = []
+            for i in range(width):
+                row = [window_recs[k][i] for k in range(K)]
+                records.extend(row)
+                step_records.append(row)
+
+            window_served = np.zeros(K, dtype=np.int64)
+            for row in step_records:
+                window_served += served_rows_matrix(row, K)
+            for i, s in enumerate(range(w0, w1)):
+                trace.add(Stage.ALLREDUCE, -1, s)
+            for k in range(K):
+                machine_recs = [r for row in step_records for r in row
+                                if r.machine == k]
+                request_rows = int(sum(
+                    r.gather.remote_rows + r.gather.refresh_fetch_rows
+                    for r in machine_recs
+                ))
+                emit_window_comm_events(
+                    trace, w0, k, request_rows, int(window_served[k]),
+                    mfg_edges=int(sum(r.mfg_edges for r in machine_recs)),
+                )
+
+            if not dry_run:
+                for i, s in enumerate(range(w0, w1)):
+                    grads_per_machine = []
+                    for k in range(K):
+                        payload = self._expect(k, "wstep")
+                        if payload["step"] != s:
+                            self._fail(k, f"expected wstep {s}, "
+                                          f"got {payload['step']}")
+                        step_records[i][k].loss = payload["loss"]
+                        grads_per_machine.append(payload["grads"])
+                    self._average_and_reply(grads_per_machine, ledger)
+                    losses.extend(r.loss for r in step_records[i])
+        states = self._collect_done(trace, dry_run)
+        return self._finish_report(epoch, records, ledger, losses, steps,
+                                   trace, states)
+
+    def _collect_done(self, trace, dry_run: bool) -> List[dict]:
+        """Receive every worker's epoch-end events (merged into the trace)
+        and, for training epochs, its synchronized model state."""
+        states = []
+        for k in range(self.system.trainer.num_machines):
+            payload = self._expect(k, "done")
+            try:
+                trace.events.extend(_decode_events(payload["events"]))
+            except (WireError, KeyError, ValueError) as exc:
+                self._fail(k, f"undecodable done payload: {exc}")
+            if not dry_run and payload.get("state") is not None:
+                states.append(payload["state"])
+        return states

@@ -1,0 +1,355 @@
+"""Compact wire format for coordinator/worker messages.
+
+The multiproc cluster backend ships :class:`FetchPlan`\\ s, gradients, step
+records, and stage events between the coordinator and its worker processes
+over pipes.  Pickle would work, but it is neither compact (every ndarray
+drags protocol framing and dtype objects along) nor auditable; this module
+defines a small explicit format instead:
+
+* a **message** is ``MAGIC | version | kind | value`` — ``MAGIC`` is the
+  4-byte tag ``b"RPWF"``, ``kind`` is a short ASCII verb (``"step"``,
+  ``"avg"``, ...), and ``value`` is one encoded value;
+* a **value** is a one-byte type tag followed by its payload.  Scalars
+  (``None``, bools, 64-bit ints, doubles, strings, bytes) and containers
+  (list, tuple, dict with string keys) nest arbitrarily;
+* an **ndarray frame** is ``dtype tag | ndim | shape (u64 each) | raw
+  C-contiguous little-endian payload`` — the length is implied by dtype and
+  shape, so a corrupt header can never over-read.
+
+Values round-trip bit-identically: dtypes, shapes, int-vs-float distinctions,
+and tuple-vs-list distinctions are all preserved (arrays come back native
+little-endian, which is what every supported platform runs).  Anything the
+format cannot represent exactly — object arrays, ints beyond 64 bits,
+unknown types — raises :class:`WireError` at *encode* time rather than
+producing a lossy payload.
+
+:func:`encode_fetch_plan` / :func:`encode_coalesced_plan` serialize gather
+plans as tagged field dicts, so decoded plans are plain
+:class:`~repro.distributed.feature_store.FetchPlan` objects the store can
+execute directly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.distributed.feature_store import CoalescedFetchPlan, FetchPlan
+
+MAGIC = b"RPWF"
+VERSION = 1
+
+#: Value type tags.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_NDARRAY = 0x0A
+
+#: dtype tag -> canonical little-endian dtype.  Tags are stable wire
+#: identifiers; never renumber.
+_DTYPE_CODES = {
+    0: np.dtype("bool"),
+    1: np.dtype("int8"),
+    2: np.dtype("int16"),
+    3: np.dtype("<i4"),
+    4: np.dtype("<i8"),
+    5: np.dtype("uint8"),
+    6: np.dtype("uint16"),
+    7: np.dtype("<u4"),
+    8: np.dtype("<u8"),
+    9: np.dtype("<f2"),
+    10: np.dtype("<f4"),
+    11: np.dtype("<f8"),
+}
+#: (kind, itemsize) -> dtype tag, endianness-agnostic.
+_DTYPE_TAGS = {(dt.kind, dt.itemsize): tag for tag, dt in _DTYPE_CODES.items()}
+
+_MAX_NDIM = 32
+
+
+class WireError(ValueError):
+    """Malformed, truncated, or unrepresentable wire data."""
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+def pack_ndarray(arr: np.ndarray, out: bytearray) -> None:
+    """Append one ndarray frame (dtype tag, shape, raw payload) to ``out``."""
+    tag = _DTYPE_TAGS.get((arr.dtype.kind, arr.dtype.itemsize))
+    if tag is None:
+        raise WireError(f"unsupported ndarray dtype {arr.dtype!r}")
+    if arr.ndim > _MAX_NDIM:
+        raise WireError(f"ndarray rank {arr.ndim} exceeds wire limit {_MAX_NDIM}")
+    canonical = _DTYPE_CODES[tag]
+    # asarray(order="C"), not ascontiguousarray: the latter promotes 0-d
+    # arrays to 1-d, which would break shape round-tripping.
+    arr = np.asarray(arr, dtype=canonical, order="C")
+    out.append(tag)
+    out.append(arr.ndim)
+    for dim in arr.shape:
+        out += struct.pack("<Q", dim)
+    out += arr.tobytes()
+
+
+def _pack_value(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out.append(_T_NONE)
+    elif isinstance(obj, (bool, np.bool_)):
+        out.append(_T_TRUE if obj else _T_FALSE)
+    elif isinstance(obj, (int, np.integer)):
+        out.append(_T_INT)
+        try:
+            out += struct.pack("<q", int(obj))
+        except struct.error:
+            raise WireError(f"integer {obj!r} exceeds 64-bit wire range") from None
+    elif isinstance(obj, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += struct.pack("<d", float(obj))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf8")
+        if len(raw) > 0xFFFFFFFF:
+            raise WireError("string too long for wire format")
+        out.append(_T_STR)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        if len(raw) > 0xFFFFFFFF:
+            raise WireError("bytes too long for wire format")
+        out.append(_T_BYTES)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(obj, np.ndarray):
+        out.append(_T_NDARRAY)
+        pack_ndarray(obj, out)
+    elif isinstance(obj, (list, tuple)):
+        out.append(_T_LIST if isinstance(obj, list) else _T_TUPLE)
+        out += struct.pack("<I", len(obj))
+        for item in obj:
+            _pack_value(item, out)
+    elif isinstance(obj, dict):
+        out.append(_T_DICT)
+        out += struct.pack("<I", len(obj))
+        for key, val in obj.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            _pack_value(key, out)
+            _pack_value(val, out)
+    else:
+        raise WireError(f"cannot encode {type(obj).__name__} on the wire")
+
+
+def pack_obj(obj: Any) -> bytes:
+    """Encode one value (scalars, str/bytes, list/tuple/dict, ndarrays)."""
+    out = bytearray()
+    _pack_value(obj, out)
+    return bytes(out)
+
+
+def pack_message(kind: str, payload: Any) -> bytes:
+    """Frame ``payload`` as one coordinator/worker message of ``kind``."""
+    raw_kind = kind.encode("ascii")
+    if not 1 <= len(raw_kind) <= 255:
+        raise WireError(f"message kind must be 1..255 ASCII bytes, got {kind!r}")
+    out = bytearray(MAGIC)
+    out.append(VERSION)
+    out.append(len(raw_kind))
+    out += raw_kind
+    _pack_value(payload, out)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+def _need(buf: memoryview, offset: int, n: int) -> None:
+    if offset + n > len(buf):
+        raise WireError(
+            f"truncated wire data: need {n} bytes at offset {offset}, "
+            f"have {len(buf) - offset}"
+        )
+
+
+def unpack_ndarray(buf: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+    """Decode one ndarray frame at ``offset``; returns ``(array, end)``."""
+    _need(buf, offset, 2)
+    tag, ndim = buf[offset], buf[offset + 1]
+    offset += 2
+    dtype = _DTYPE_CODES.get(tag)
+    if dtype is None:
+        raise WireError(f"unknown ndarray dtype tag {tag}")
+    if ndim > _MAX_NDIM:
+        raise WireError(f"ndarray rank {ndim} exceeds wire limit {_MAX_NDIM}")
+    _need(buf, offset, 8 * ndim)
+    shape = struct.unpack_from(f"<{ndim}Q", buf, offset)
+    offset += 8 * ndim
+    count = 1
+    for dim in shape:
+        count *= dim
+    nbytes = count * dtype.itemsize
+    _need(buf, offset, nbytes)
+    arr = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+    return arr.reshape(shape).copy(), offset + nbytes
+
+
+def _unpack_value(buf: memoryview, offset: int) -> Tuple[Any, int]:
+    _need(buf, offset, 1)
+    tag = buf[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        _need(buf, offset, 8)
+        return struct.unpack_from("<q", buf, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        _need(buf, offset, 8)
+        return struct.unpack_from("<d", buf, offset)[0], offset + 8
+    if tag in (_T_STR, _T_BYTES):
+        _need(buf, offset, 4)
+        n = struct.unpack_from("<I", buf, offset)[0]
+        offset += 4
+        _need(buf, offset, n)
+        raw = bytes(buf[offset:offset + n])
+        return (raw.decode("utf8") if tag == _T_STR else raw), offset + n
+    if tag in (_T_LIST, _T_TUPLE):
+        _need(buf, offset, 4)
+        n = struct.unpack_from("<I", buf, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(n):
+            item, offset = _unpack_value(buf, offset)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), offset
+    if tag == _T_DICT:
+        _need(buf, offset, 4)
+        n = struct.unpack_from("<I", buf, offset)[0]
+        offset += 4
+        out = {}
+        for _ in range(n):
+            key, offset = _unpack_value(buf, offset)
+            if not isinstance(key, str):
+                raise WireError("dict keys must decode to str")
+            out[key], offset = _unpack_value(buf, offset)
+        return out, offset
+    if tag == _T_NDARRAY:
+        return unpack_ndarray(buf, offset)
+    raise WireError(f"unknown value tag 0x{tag:02x}")
+
+
+def unpack_obj(data: bytes) -> Any:
+    """Decode one value; the buffer must contain exactly one value."""
+    buf = memoryview(data)
+    obj, offset = _unpack_value(buf, 0)
+    if offset != len(buf):
+        raise WireError(f"{len(buf) - offset} trailing bytes after value")
+    return obj
+
+
+def unpack_message(data: bytes) -> Tuple[str, Any]:
+    """Decode one framed message; returns ``(kind, payload)``."""
+    buf = memoryview(data)
+    _need(buf, 0, len(MAGIC) + 2)
+    if bytes(buf[:len(MAGIC)]) != MAGIC:
+        raise WireError(f"bad magic {bytes(buf[:len(MAGIC)])!r}")
+    version = buf[len(MAGIC)]
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    kind_len = buf[len(MAGIC) + 1]
+    offset = len(MAGIC) + 2
+    _need(buf, offset, kind_len)
+    try:
+        kind = bytes(buf[offset:offset + kind_len]).decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WireError("message kind is not ASCII") from exc
+    payload, offset = _unpack_value(buf, offset + kind_len)
+    if offset != len(buf):
+        raise WireError(f"{len(buf) - offset} trailing bytes after message")
+    return kind, payload
+
+
+# ----------------------------------------------------------------------
+# fetch-plan codecs
+# ----------------------------------------------------------------------
+
+_PLAN_ARRAY_FIELDS = ("ids", "local_pos", "local_ids", "cached_pos",
+                      "cached_ids", "remote_pos", "remote_ids", "nonlocal_ids")
+
+
+def _plan_dict(plan: FetchPlan) -> dict:
+    out = {"machine": plan.machine, "gpu_rows": plan.gpu_rows,
+           "cpu_rows": plan.cpu_rows}
+    for name in _PLAN_ARRAY_FIELDS:
+        out[name] = getattr(plan, name)
+    return out
+
+
+def _plan_from_dict(fields: dict) -> FetchPlan:
+    try:
+        return FetchPlan(
+            machine=fields["machine"],
+            gpu_rows=fields["gpu_rows"],
+            cpu_rows=fields["cpu_rows"],
+            **{name: fields[name] for name in _PLAN_ARRAY_FIELDS},
+        )
+    except KeyError as exc:
+        raise WireError(f"fetch plan missing field {exc.args[0]!r}") from None
+
+
+def encode_fetch_plan(plan: FetchPlan) -> bytes:
+    """Serialize one :class:`FetchPlan` (bit-identical round trip)."""
+    return pack_obj(_plan_dict(plan))
+
+
+def decode_fetch_plan(data: bytes) -> FetchPlan:
+    fields = unpack_obj(data)
+    if not isinstance(fields, dict):
+        raise WireError("fetch plan payload must be a dict")
+    return _plan_from_dict(fields)
+
+
+def encode_coalesced_plan(cplan: CoalescedFetchPlan) -> bytes:
+    """Serialize one :class:`CoalescedFetchPlan`, sub-plans included.
+
+    ``slots`` may be ``None`` (hand-built plans); the distinction survives
+    the round trip, so execution falls back to ``searchsorted`` exactly when
+    it would have locally.
+    """
+    return pack_obj({
+        "machine": cplan.machine,
+        "plans": [_plan_dict(p) for p in cplan.plans],
+        "unique_remote_ids": cplan.unique_remote_ids,
+        "first_request": list(cplan.first_request),
+        "slots": None if cplan.slots is None else list(cplan.slots),
+    })
+
+
+def decode_coalesced_plan(data: bytes) -> CoalescedFetchPlan:
+    fields = unpack_obj(data)
+    if not isinstance(fields, dict):
+        raise WireError("coalesced plan payload must be a dict")
+    try:
+        return CoalescedFetchPlan(
+            machine=fields["machine"],
+            plans=[_plan_from_dict(f) for f in fields["plans"]],
+            unique_remote_ids=fields["unique_remote_ids"],
+            first_request=list(fields["first_request"]),
+            slots=None if fields["slots"] is None else list(fields["slots"]),
+        )
+    except KeyError as exc:
+        raise WireError(f"coalesced plan missing field {exc.args[0]!r}") from None

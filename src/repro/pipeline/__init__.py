@@ -18,7 +18,10 @@ from repro.pipeline.events import (
     EventTrace,
     Stage,
     StageEvent,
+    assert_trace_shape_equal,
     trace_from_report,
+    trace_shape,
+    trace_shape_diff,
 )
 from repro.pipeline.simulator import (
     PipelineMode,
@@ -35,7 +38,10 @@ __all__ = [
     "EventTrace",
     "Stage",
     "StageEvent",
+    "assert_trace_shape_equal",
     "trace_from_report",
+    "trace_shape",
+    "trace_shape_diff",
     "PipelineMode",
     "PipelineResult",
     "simulate_epoch",

@@ -6,7 +6,12 @@ reproducible randomness (every stochastic component takes an explicit seed or
 """
 
 from repro.utils.registry import Registry
-from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.rng import (
+    as_generator,
+    derive_seed,
+    machine_stream_seed,
+    spawn_generators,
+)
 from repro.utils.tables import Table, format_bytes, format_seconds, format_count
 from repro.utils.validation import (
     check_array,
@@ -20,6 +25,7 @@ __all__ = [
     "as_generator",
     "spawn_generators",
     "derive_seed",
+    "machine_stream_seed",
     "Table",
     "format_bytes",
     "format_seconds",

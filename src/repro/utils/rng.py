@@ -69,6 +69,27 @@ def derive_seed(seed: SeedLike, *keys: Union[int, str]) -> int:
     return int(ss.generate_state(1, dtype=np.uint64)[0] >> 1)
 
 
+def machine_stream_seed(seed: SeedLike, stream: str, machine: int) -> int:
+    """Seed of one logical machine's named RNG stream.
+
+    Every cluster backend — the in-process trainer and the multiproc
+    workers alike — seeds machine ``k``'s per-role generators with
+    ``derive_seed(seed, stream, k)``.  The derivation depends only on the
+    run seed, the stream name, and the machine id: never on process spawn
+    order, pids, or import order, so K worker processes reproduce the
+    in-process sampler streams bit-for-bit regardless of which worker
+    starts first.  Streams in use:
+
+    ``"sampler"``
+        The machine's :class:`~repro.sampling.neighbor.NeighborSampler`
+        (its persistent per-hop randomness).
+    ``"order"``
+        The machine's epoch shuffle (combined with the epoch number inside
+        :meth:`NeighborSampler.batches`).
+    """
+    return derive_seed(seed, stream, machine)
+
+
 def _seed_entropy(seed: SeedLike) -> int:
     if isinstance(seed, int):
         return seed

@@ -1,0 +1,147 @@
+"""Fault injection and resource hygiene for the multiproc backend.
+
+A worker hard-killed mid-epoch must surface as a clean
+:class:`WorkerFailedError` naming the machine, after which the backend is
+fully torn down: every worker process dead, every pipe closed, every
+shared-memory segment unlinked, and further ``run_epoch`` calls refused.
+Normal shutdown must leave the same nothing behind — including no
+``resource_tracker`` "leaked shared_memory" noise at interpreter exit.
+"""
+
+import os
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core import RunConfig, SalientPP
+from repro.distributed import MultiprocBackend, WorkerFailedError
+from repro.graph.datasets import make_tiny
+
+
+def _build_system():
+    ds = make_tiny(seed=3, num_vertices=2000)
+    cfg = RunConfig(
+        num_machines=2,
+        fanouts=(4, 3),
+        batch_size=16,
+        hidden_dim=16,
+        replication_factor=0.05,
+        gpu_fraction=0.5,
+        seed=0,
+    )
+    return SalientPP.build(ds, cfg)
+
+
+def _assert_fully_torn_down(backend):
+    assert not backend.is_live
+    assert all(not p.is_alive() for p in backend.processes)
+    for name in backend.segment_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_worker_killed_mid_epoch_raises_and_tears_down():
+    system = _build_system()
+    backend = MultiprocBackend(system, timeout_s=30.0,
+                               fault_injection={1: (0, 2)})
+    with pytest.raises(WorkerFailedError) as excinfo:
+        backend.run_epoch(0)
+    assert excinfo.value.machine == 1
+    assert "worker 1" in str(excinfo.value)
+    _assert_fully_torn_down(backend)
+    # The backend is spent: it refuses to run again rather than hang on
+    # dead pipes.
+    with pytest.raises(RuntimeError, match="closed"):
+        backend.run_epoch(1)
+
+
+def test_external_kill_between_epochs():
+    system = _build_system()
+    backend = MultiprocBackend(system, timeout_s=30.0)
+    report = backend.run_epoch(0)
+    assert report.mean_loss is not None
+    backend.processes[0].kill()
+    with pytest.raises(WorkerFailedError) as excinfo:
+        backend.run_epoch(1)
+    assert excinfo.value.machine == 0
+    _assert_fully_torn_down(backend)
+
+
+def test_clean_shutdown_leaves_nothing_behind():
+    system = _build_system()
+    backend = MultiprocBackend(system, timeout_s=30.0)
+    backend.run_epoch(0)
+    assert backend.is_live
+    assert len(backend.segment_names) == 2 + 3  # feat0, feat1 + graph/labels
+    names = list(backend.segment_names)
+    backend.close()
+    backend.close()  # idempotent
+    assert not backend.is_live
+    assert all(not p.is_alive() for p in backend.processes)
+    for name in names:
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_system_context_manager_shuts_down_backend():
+    import dataclasses
+
+    ds = make_tiny(seed=3, num_vertices=2000)
+    cfg = RunConfig(num_machines=2, fanouts=(4, 3), batch_size=16,
+                    hidden_dim=16, replication_factor=0.05, gpu_fraction=0.5)
+    with SalientPP.build(ds, dataclasses.replace(cfg, backend="multiproc")) as system:
+        system.train_epoch(0)
+        backend = system.backend()
+        assert backend.is_live
+    _assert_fully_torn_down(backend)
+
+
+def test_training_set_swap_refused_while_live():
+    system = _build_system()
+    backend = MultiprocBackend(system, timeout_s=30.0)
+    system._backend = backend
+    backend.run_epoch(0)
+    train_idx = system.trainer.ds.train_idx
+    try:
+        with pytest.raises(RuntimeError, match="live cluster backend"):
+            system.update_training_set(train_idx)
+    finally:
+        system.shutdown()
+    # After shutdown the swap is allowed again.
+    system.update_training_set(train_idx)
+
+
+_TRACKER_SCRIPT = """
+import dataclasses
+from repro.core import RunConfig, SalientPP
+from repro.graph.datasets import make_tiny
+
+ds = make_tiny(seed=3, num_vertices=1500)
+cfg = RunConfig(num_machines=2, fanouts=(4, 3), batch_size=16, hidden_dim=16,
+                replication_factor=0.05, gpu_fraction=0.5, backend="multiproc")
+with SalientPP.build(ds, cfg) as system:
+    report = system.train_epoch(0).report
+    assert report.mean_loss is not None
+print("OK")
+"""
+
+
+def test_no_resource_tracker_leak_warnings():
+    # Run a full epoch + shutdown in a fresh interpreter: at exit, the
+    # multiprocessing resource tracker prints (and KeyErrors) on any
+    # segment whose register/unregister accounting went wrong.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _TRACKER_SCRIPT],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+    assert "leaked" not in proc.stderr, proc.stderr
+    assert "KeyError" not in proc.stderr, proc.stderr
+    assert "Traceback" not in proc.stderr, proc.stderr

@@ -15,7 +15,7 @@ from repro.utils import (
     format_seconds,
     spawn_generators,
 )
-from repro.utils.rng import permutation_from_order
+from repro.utils.rng import machine_stream_seed, permutation_from_order
 
 
 class TestRNG:
@@ -50,6 +50,34 @@ class TestRNG:
         order = np.array([2, 0, 1])
         inv = permutation_from_order(order)
         assert np.array_equal(inv[order], np.arange(3))
+
+    def test_machine_stream_seed_is_derive_seed(self):
+        # The contract every cluster backend relies on: machine k's stream
+        # seed is exactly derive_seed(run_seed, stream, k).
+        assert machine_stream_seed(123, "sampler", 2) == derive_seed(123, "sampler", 2)
+        assert machine_stream_seed(None, "order", 0) == derive_seed(None, "order", 0)
+
+    def test_machine_stream_seeds_distinct_per_machine_and_stream(self):
+        seeds = {machine_stream_seed(7, stream, k)
+                 for stream in ("sampler", "order", "model")
+                 for k in range(8)}
+        assert len(seeds) == 24
+
+    def test_machine_stream_seeds_spawn_order_independent(self):
+        # Creating the generators in any machine order yields the same
+        # per-machine streams: the seed is a pure function of
+        # (run seed, stream, machine), never of construction order.
+        def draws(machine_order):
+            out = {}
+            for k in machine_order:
+                gen = np.random.default_rng(machine_stream_seed(0, "sampler", k))
+                out[k] = gen.integers(0, 2**31, size=16)
+            return out
+
+        fwd = draws(range(4))
+        rev = draws(reversed(range(4)))
+        for k in range(4):
+            assert np.array_equal(fwd[k], rev[k])
 
 
 class TestTable:
