@@ -29,7 +29,8 @@ __all__ = ["CSRGraph", "GraphDataset", "load_dataset", "__version__"]
 def __getattr__(name):
     # Lazy re-exports of the heavier subsystems keep `import repro` cheap.
     if name in ("ArtifactCache", "Plan", "Planner", "RunConfig", "Salient",
-                "SalientPP", "ServingConfig", "SystemVariant"):
+                "SalientPP", "ServingConfig", "StreamingConfig",
+                "SystemVariant"):
         import repro.core as _core
 
         return getattr(_core, name)

@@ -4,6 +4,7 @@ planner, and end-to-end systems."""
 from repro.core.config import (
     RunConfig,
     ServingConfig,
+    StreamingConfig,
     progressive_variants,
     table1_alpha,
 )
@@ -30,6 +31,7 @@ from repro.core.system import (
 __all__ = [
     "RunConfig",
     "ServingConfig",
+    "StreamingConfig",
     "progressive_variants",
     "table1_alpha",
     "ArtifactCache",

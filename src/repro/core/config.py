@@ -96,6 +96,55 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class StreamingConfig:
+    """Streaming-graph knobs (the ``config.streaming`` slice).
+
+    Consumed wherever a :class:`repro.graph.mutable.MutableGraph` backs a
+    live system — serving on a mutating graph
+    (:meth:`repro.serving.InferenceService.run` with ``mutations``) and
+    continual training (:meth:`repro.core.system.SalientPP.
+    apply_graph_updates`).  Like :class:`ServingConfig`, no preprocessing
+    stage fingerprints it.
+
+    Attributes
+    ----------
+    churn_cutoff:
+        Fraction of the dense sweep's total edge volume
+        (``num_hops * num_edges``) an incremental VIP refresh may touch
+        before it falls back to a full Proposition-1 recompute on the
+        materialized graph (see :func:`repro.vip.incremental.
+        incremental_vip`).  0 forces full recomputes, 1 never falls back.
+    compact_cutoff:
+        Overlay size (fraction of base directed edges) past which the
+        delta-CSR overlay is compacted into a clean base CSR
+        (:meth:`repro.graph.mutable.MutableGraph.compact`); ``0`` compacts
+        after every batch.
+    refresh_on_mutation:
+        Serving only: invalidate per-machine VIP snapshots as soon as a
+        mutation batch lands (the next refresh window recomputes from the
+        dirty frontier).  ``False`` keeps serving rankings stale until the
+        next scheduled vip-refresh — the stale-cache baseline the
+        streaming benchmark measures against.
+    """
+
+    churn_cutoff: float = 0.5
+    compact_cutoff: float = 0.25
+    refresh_on_mutation: bool = True
+
+    def validate(self) -> "StreamingConfig":
+        """Fail fast on malformed streaming knobs; returns ``self``."""
+        if not 0.0 <= self.churn_cutoff <= 1.0:
+            raise ValueError(
+                f"churn_cutoff must be in [0, 1], got {self.churn_cutoff}"
+            )
+        if self.compact_cutoff < 0:
+            raise ValueError(
+                f"compact_cutoff must be non-negative, got {self.compact_cutoff}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Configuration of one system variant on one cluster.
 
@@ -149,6 +198,11 @@ class RunConfig:
     # Online inference serving (consumed by repro.serving.InferenceService;
     # does not enter any preprocessing-stage fingerprint).
     serving: ServingConfig = field(default_factory=ServingConfig)
+
+    # Streaming-graph mutation (delta-CSR overlay + incremental VIP; see
+    # repro.graph.mutable / repro.vip.incremental).  Serving- and
+    # continual-training-time only, so also outside stage fingerprints.
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
 
     # Substrate.
     partitioner: str = "metis"              # see repro.partition.PARTITIONERS
@@ -264,6 +318,7 @@ class RunConfig:
                 f"network_gbps must be positive, got {self.network_gbps}"
             )
         self.serving.validate()
+        self.streaming.validate()
         return self
 
     def resolve(self, dataset) -> "RunConfig":

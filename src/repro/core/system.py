@@ -88,6 +88,9 @@ class SalientPP:
         self.cost_model = cost_model
         self.vip_matrix = vip_matrix
         self._backend = None
+        # Per-partition VIP snapshots for streaming-graph refreshes
+        # (populated lazily by apply_graph_updates).
+        self._vip_snapshots = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -201,6 +204,93 @@ class SalientPP:
                 "is running; call shutdown() first"
             )
         self.trainer.update_training_set(train_idx)
+
+    def apply_graph_updates(self, batch, *, refresh_vip: bool = True):
+        """Apply a streaming edge batch to the training graph (continual
+        training over a mutating graph).
+
+        On the first call the reordered dataset's graph is wrapped in a
+        :class:`~repro.graph.mutable.MutableGraph` (delta-CSR overlay) and
+        the trainer's samplers are re-pointed at it; subsequent calls apply
+        straight to the overlay.  Endpoints are in **reordered** numbering —
+        the same vocabulary as :meth:`update_training_set` — and must name
+        existing vertices: the feature store has no rows for vertices the
+        dataset has never seen, so vertex additions go through
+        :meth:`~repro.graph.mutable.MutableGraph.add_vertices` on the graph
+        directly (with features handled by the caller) rather than here.
+
+        With ``refresh_vip`` (the default) each partition's row of
+        :attr:`vip_matrix` is refreshed through a per-partition
+        :class:`~repro.vip.incremental.VIPSnapshot` — a full Proposition-1
+        evaluation the first time, dirty-frontier incremental afterwards —
+        and the feature store is asked to re-rank its dynamic caches at the
+        next epoch boundary (``store.request_refresh()``), mirroring the
+        non-stationary-workload hook.
+
+        Refused while a live external backend is running, for the same
+        reason as :meth:`update_training_set`: workers hold their own graph
+        copies, and a coordinator-side mutation would silently diverge from
+        what they sample.  Call :meth:`shutdown` first.
+
+        Returns the :class:`~repro.graph.mutable.DeltaRecord` describing
+        the applied batch.
+        """
+        if self._backend is not None and self._backend.is_live:
+            raise RuntimeError(
+                "cannot mutate the graph while a live cluster backend is "
+                "running; call shutdown() first"
+            )
+        from repro.graph.mutable import MutableGraph
+        from repro.vip.analytic import uniform_minibatch_probability
+        from repro.vip.incremental import incremental_vip, snapshot_vip
+
+        ds = self.reordered.dataset
+        graph = ds.graph
+        if not isinstance(graph, MutableGraph):
+            graph = MutableGraph(
+                graph, compact_cutoff=self.config.streaming.compact_cutoff)
+            ds.graph = graph
+            for sampler in self.trainer.samplers:
+                sampler.graph = graph
+            self._vip_snapshots = {}
+        n = graph.num_vertices
+        for arr in (batch.add_src, batch.add_dst, batch.del_src,
+                    batch.del_dst):
+            if len(arr) and (arr.min() < 0 or arr.max() >= n):
+                raise ValueError(
+                    f"edge endpoints must be existing reordered vertex ids "
+                    f"in [0, {n}); use MutableGraph.add_vertices to grow "
+                    f"the graph"
+                )
+        graph.apply(batch)
+        if refresh_vip and self.vip_matrix is not None:
+            # The trainer holds the dataset-resolved hyperparameters (the
+            # config's may still be None placeholders).
+            fanouts = self.trainer.fanouts
+            batch_size = self.trainer.batch_size
+            cutoff = self.config.streaming.churn_cutoff
+            for k in range(len(self.trainer.local_train)):
+                local = self.trainer.local_train[k]
+                if len(local) == 0:
+                    continue
+                p0 = uniform_minibatch_probability(
+                    graph.num_vertices, local, batch_size)
+                snap = self._vip_snapshots.get(k)
+                if snap is None:
+                    snap = snapshot_vip(graph, p0, fanouts)
+                else:
+                    snap = incremental_vip(graph, snap, p0,
+                                           churn_cutoff=cutoff)
+                self._vip_snapshots[k] = snap
+                access = snap.access
+                if self.vip_matrix.shape[1] < len(access):
+                    pad = np.zeros(
+                        (self.vip_matrix.shape[0],
+                         len(access) - self.vip_matrix.shape[1]))
+                    self.vip_matrix = np.hstack([self.vip_matrix, pad])
+                self.vip_matrix[k, : len(access)] = access
+            self.store.request_refresh()
+        return graph.log[-1]
 
     # ------------------------------------------------------------------
     @property

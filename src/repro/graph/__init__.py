@@ -1,9 +1,11 @@
 """Graph substrate: CSR storage, synthetic generators, benchmark datasets."""
 
 from repro.graph.csr import CSRGraph
+from repro.graph.mutable import DeltaRecord, EdgeBatch, MutableGraph
 from repro.graph.generators import (
     chung_lu,
     drifting_training_sets,
+    edge_stream,
     erdos_renyi,
     pareto_degree_weights,
     power_law_community_graph,
@@ -26,7 +28,11 @@ from repro.graph.datasets import (
 
 __all__ = [
     "CSRGraph",
+    "DeltaRecord",
+    "EdgeBatch",
+    "MutableGraph",
     "chung_lu",
+    "edge_stream",
     "erdos_renyi",
     "pareto_degree_weights",
     "drifting_training_sets",

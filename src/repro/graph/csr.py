@@ -35,12 +35,18 @@ class CSRGraph:
         that construct graphs from already-validated parts.
     """
 
-    __slots__ = ("indptr", "indices", "_degrees", "_is_sorted",
+    __slots__ = ("indptr", "indices", "version", "_degrees", "_is_sorted",
                  "_is_undirected", "_transition_table")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, check: bool = True):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        #: Structure-version token.  0 for the lifetime of a well-behaved
+        #: (immutable) graph; anything that mutates the arrays in place
+        #: must call :meth:`bump_version` so per-graph caches (degrees,
+        #: the VIP :class:`~repro.vip.analytic.TransitionTable`) can
+        #: detect staleness instead of silently serving old structure.
+        self.version = 0
         self._degrees: Optional[np.ndarray] = None
         self._is_sorted: Optional[bool] = None
         self._is_undirected: Optional[bool] = None
@@ -142,6 +148,31 @@ class CSRGraph:
 
     def degree(self, v: int) -> int:
         return int(self.indptr[v + 1] - self.indptr[v])
+
+    def bump_version(self) -> int:
+        """Declare an in-place structural change: increment :attr:`version`
+        and drop every derived per-graph cache (degrees, sortedness,
+        symmetry, the VIP transition table).  CSR graphs are immutable by
+        convention, so ordinary code never calls this; it exists so the
+        rare in-place mutator cannot leave stale caches behind."""
+        self.version += 1
+        self._degrees = None
+        self._is_sorted = None
+        self._is_undirected = None
+        self._transition_table = None
+        return self.version
+
+    # -- vectorized adjacency protocol ---------------------------------
+    # (shared with repro.graph.mutable.MutableGraph, which reads through
+    # its overlay; the sampler targets this protocol, not raw arrays)
+    def row_starts(self, targets: np.ndarray) -> np.ndarray:
+        """Start position of each target's adjacency row in the flat
+        edge pool (here simply ``indptr[targets]``)."""
+        return self.indptr[targets]
+
+    def take_edges(self, positions: np.ndarray) -> np.ndarray:
+        """Gather neighbor ids at flat edge-pool ``positions``."""
+        return self.indices[positions]
 
     # ------------------------------------------------------------------
     # Transformations

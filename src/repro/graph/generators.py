@@ -367,3 +367,106 @@ def streaming_request_stream(
             cold = rng.choice(pool, size=n_cold, replace=False)
             picks = np.concatenate([picks, cold])
         yield np.sort(picks)
+
+
+def edge_stream(
+    graph,
+    num_batches: int,
+    batch_edges: int,
+    *,
+    delete_fraction: float = 0.5,
+    pool: Optional[np.ndarray] = None,
+    community: Optional[np.ndarray] = None,
+    degree_bias: bool = True,
+    seed: SeedLike = None,
+) -> Iterator["EdgeBatch"]:
+    """Edge-churn batches for the streaming-graph workloads.
+
+    Yields :class:`~repro.graph.mutable.EdgeBatch`\\ es of ``batch_edges``
+    operations each, split ``delete_fraction`` deletions / the rest
+    insertions.  The stream is *live*: each batch is drawn against the
+    graph's **current** state (degrees and adjacency are re-read at yield
+    time), so the intended protocol is apply-then-advance::
+
+        for batch in edge_stream(mgraph, 20, 500, seed=0):
+            mgraph.apply(batch)
+            ...
+
+    Shape of the churn — chosen to mirror how real graphs grow rather than
+    uniform noise:
+
+    * **Insertions** attach preferentially: endpoints are drawn with
+      probability proportional to current degree + 1 (``degree_bias=False``
+      gives uniform endpoints).  With ``community`` labels, the second
+      endpoint is drawn from the first endpoint's community, keeping churn
+      *local* — new citations/links overwhelmingly land inside an existing
+      neighborhood, and locality is also what makes incremental VIP's
+      dirty wave stay narrow.
+    * **Deletions** remove a uniform neighbor of a degree-biased vertex —
+      i.e. (approximately) a uniform existing edge — without ever
+      enumerating the edge set, so drawing a batch is O(batch), not O(M).
+
+    ``pool`` restricts both endpoints to a vertex subset (e.g. one
+    partition, to localize churn); it must not contain tombstoned ids.
+    Batches may contain duplicate or already-absent ops — the overlay's
+    set semantics absorb them.
+    """
+    from repro.graph.mutable import EdgeBatch
+
+    if batch_edges <= 0:
+        raise ValueError(f"batch_edges must be positive, got {batch_edges}")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(
+            f"delete_fraction must be in [0, 1], got {delete_fraction}"
+        )
+    rng = as_generator(seed)
+    if pool is None:
+        pool = np.arange(graph.num_vertices, dtype=np.int64)
+    else:
+        pool = np.unique(np.asarray(pool, dtype=np.int64))
+        if len(pool) < 2:
+            raise ValueError("pool must contain at least two vertices")
+    members = None
+    if community is not None:
+        community = np.asarray(community)
+        labels = community[pool]
+        order = np.argsort(labels, kind="stable")
+        uniq, starts = np.unique(labels[order], return_index=True)
+        bounds = np.append(starts, len(order))
+        members = {int(c): pool[order[bounds[i]:bounds[i + 1]]]
+                   for i, c in enumerate(uniq)}
+
+    n_del = int(round(delete_fraction * batch_edges))
+    n_add = batch_edges - n_del
+    for _ in range(num_batches):
+        degrees = np.asarray(graph.degrees, dtype=np.float64)[pool]
+        w = (degrees + 1.0) if degree_bias else np.ones(len(pool))
+        p_add = w / w.sum()
+
+        add_src = add_dst = del_src = del_dst = np.empty(0, dtype=np.int64)
+        if n_add:
+            add_src = rng.choice(pool, size=n_add, p=p_add)
+            if members is None:
+                add_dst = rng.choice(pool, size=n_add, p=p_add)
+            else:
+                add_dst = np.empty(n_add, dtype=np.int64)
+                src_comms = community[add_src]
+                for c in np.unique(src_comms):
+                    idx = np.flatnonzero(src_comms == c)
+                    add_dst[idx] = rng.choice(members[int(c)], size=len(idx))
+            keep = add_src != add_dst  # no self-loops
+            add_src, add_dst = add_src[keep], add_dst[keep]
+        if n_del:
+            has_edges = degrees > 0
+            if has_edges.any():
+                p_del = np.where(has_edges, degrees, 0.0)
+                p_del /= p_del.sum()
+                del_src = rng.choice(pool, size=n_del, p=p_del)
+                del_dst = np.empty(n_del, dtype=np.int64)
+                for i, v in enumerate(del_src):
+                    row = graph.neighbors(int(v))
+                    del_dst[i] = row[rng.integers(len(row))]
+            else:
+                del_src = del_dst = np.empty(0, dtype=np.int64)
+        yield EdgeBatch(add_src=add_src, add_dst=add_dst,
+                        del_src=del_src, del_dst=del_dst)

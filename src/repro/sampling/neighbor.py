@@ -97,6 +97,13 @@ def sample_neighbors(
 
     Parameters
     ----------
+    graph:
+        Any object implementing the vectorized adjacency protocol
+        (``degrees``, ``row_starts``, ``take_edges``) — a
+        :class:`CSRGraph` or a streaming
+        :class:`~repro.graph.mutable.MutableGraph`.  The RNG stream
+        depends only on the effective adjacency, so an empty overlay
+        samples bit-identically to its base.
     fanout:
         Per-vertex cap; ``-1`` (or any negative) keeps all neighbors (full
         neighborhood expansion).
@@ -115,7 +122,7 @@ def sample_neighbors(
         arena = SampleArena()
     targets = np.asarray(targets, dtype=np.int64)
     deg = graph.degrees[targets]
-    starts = graph.indptr[targets]
+    starts = graph.row_starts(targets)
 
     if fanout < 0:
         take = deg
@@ -142,7 +149,7 @@ def sample_neighbors(
     np.add(edge_pos, rel, out=edge_pos)
 
     if fanout < 0 or np.all(take == deg):
-        return dst_ptr, graph.indices[edge_pos]
+        return dst_ptr, graph.take_edges(edge_pos)
 
     # Random-key selection: per segment, keep the `take` smallest keys.
     # Combining the segment id and the key into one float (integer part =
@@ -154,7 +161,7 @@ def sample_neighbors(
     order = np.argsort(keys)
     out_rel = np.arange(total, dtype=np.int64) - np.repeat(dst_ptr[:-1], take)
     pick = order[np.repeat(cand_starts[:-1], take) + out_rel]
-    return dst_ptr, graph.indices[edge_pos[pick]]
+    return dst_ptr, graph.take_edges(edge_pos[pick])
 
 
 class NeighborSampler:
@@ -195,6 +202,16 @@ class NeighborSampler:
     def sample(self, seeds: np.ndarray, rng: Optional[np.random.Generator] = None) -> MFG:
         """Sample the L-hop expanded neighborhood of ``seeds``."""
         rng = self._rng if rng is None else rng
+        n = self.graph.num_vertices
+        if n > len(self._stamp):
+            # A streaming graph (repro.graph.mutable.MutableGraph) can grow
+            # between minibatches; extend the membership tables to match.
+            grown = np.zeros(n, dtype=np.int64)
+            grown[:len(self._stamp)] = self._stamp
+            self._stamp = grown
+            grown = np.zeros(n, dtype=np.int64)
+            grown[:len(self._local)] = self._local
+            self._local = grown
         seeds = np.asarray(seeds, dtype=np.int64)
         if len(np.unique(seeds)) != len(seeds):
             raise ValueError("seeds must be unique")

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,11 +57,14 @@ from repro.serving.workload import ClosedLoopWorkload, Request
 from repro.utils.rng import SeedLike, derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
-    from repro.core.config import RunConfig, ServingConfig
+    from repro.core.config import RunConfig, ServingConfig, StreamingConfig
     from repro.core.system import SalientPP
+    from repro.graph.mutable import EdgeBatch
 
-#: Event kinds, in tie-break order at equal simulated time.
-_ARRIVE, _TIMER, _COMPLETE = 0, 1, 2
+#: Event kinds, in tie-break order at equal simulated time.  Mutations
+#: sort first: a batch timestamped with an arrival's instant is already
+#: part of the graph that arrival samples.
+_MUTATE, _ARRIVE, _TIMER, _COMPLETE = -1, 0, 1, 2
 
 #: Default micro-batches of recently served seeds a machine remembers —
 #: the request-distribution estimate its vip-refresh provider scores
@@ -106,11 +109,16 @@ class InferenceService:
         *,
         fanouts: Sequence[int],
         seed: SeedLike = 0,
+        streaming: Optional["StreamingConfig"] = None,
     ):
+        from repro.core.config import StreamingConfig
+
         self.store = store
         self.model = model
         self.cost_model = cost_model
         self.spec = serving.validate()
+        self.streaming = (streaming if streaming is not None
+                          else StreamingConfig()).validate()
         self.fanouts = tuple(int(f) for f in fanouts)
         self.graph = store.reordered.dataset.graph
         self.num_machines = store.num_machines
@@ -145,6 +153,17 @@ class InferenceService:
         self._recent_seeds: List[deque] = [
             deque(maxlen=window) for _ in range(self.num_machines)
         ]
+        # Streaming-graph state: lazily filled on the first mutation batch.
+        # Each machine keeps its own VIPSnapshot so refresh scores are
+        # produced by the dirty-frontier incremental recursion instead of a
+        # full Proposition-1 recompute per refresh; with
+        # streaming.refresh_on_mutation=False the pre-churn base graph is
+        # frozen instead and scores stay deliberately stale (the baseline
+        # the streaming benchmark measures against).
+        self._vip_snapshots: List[Optional[object]] = (
+            [None] * self.num_machines)
+        self._stale_vip_graph = None
+        self.mutations_applied = 0
 
     # ------------------------------------------------------------------
     def _request_vip_scores(self, machine: int) -> np.ndarray:
@@ -163,6 +182,13 @@ class InferenceService:
         never even saw yet included.  Before any traffic is observed the
         scores are zero and the cost-aware swap planner keeps the
         warm-start contents.
+
+        On a mutating graph (``run`` with ``mutations``) the refresh runs
+        the dirty-frontier incremental recursion against this machine's
+        :class:`~repro.vip.incremental.VIPSnapshot` — O(churn + seed
+        drift) instead of a full recompute — unless
+        ``streaming.refresh_on_mutation`` is off, in which case scores
+        are computed on the frozen pre-churn graph (deliberately stale).
         """
         from repro.vip.analytic import vip_probabilities
 
@@ -173,6 +199,24 @@ class InferenceService:
         for seeds in recent:  # seeds are unique within a micro-batch
             counts[seeds] += 1.0
         p0 = counts / len(recent)
+        if self._stale_vip_graph is not None:
+            return vip_probabilities(self._stale_vip_graph, p0,
+                                     self.fanouts).access
+        from repro.graph.mutable import MutableGraph
+
+        if isinstance(self.graph, MutableGraph):
+            from repro.vip.incremental import incremental_vip, snapshot_vip
+
+            snap = self._vip_snapshots[machine]
+            if snap is None or snap.fanouts != self.fanouts:
+                snap = snapshot_vip(self.graph, p0, self.fanouts)
+            else:
+                snap = incremental_vip(
+                    self.graph, snap, p0,
+                    churn_cutoff=self.streaming.churn_cutoff,
+                )
+            self._vip_snapshots[machine] = snap
+            return snap.access
         return vip_probabilities(self.graph, p0, self.fanouts).access
 
     @classmethod
@@ -193,6 +237,7 @@ class InferenceService:
             spec,
             fanouts=spec.fanouts if spec.fanouts is not None else config.fanouts,
             seed=derive_seed(config.seed, "serving"),
+            streaming=config.streaming,
         )
 
     @classmethod
@@ -263,6 +308,8 @@ class InferenceService:
     def run(
         self,
         workload: Union[Sequence[Request], ClosedLoopWorkload],
+        *,
+        mutations: Optional[Sequence[Tuple[float, "EdgeBatch"]]] = None,
     ) -> ServingReport:
         """Serve ``workload`` to completion; returns the priced report.
 
@@ -271,6 +318,16 @@ class InferenceService:
         client's next request).  Every request is answered: end of stream
         force-drains the queues, so ``fixed-size`` cannot strand a partial
         batch.
+
+        ``mutations`` makes the graph itself part of the workload: each
+        ``(time, EdgeBatch)`` lands on the simulated clock between request
+        windows (endpoints in the caller's original numbering, like
+        request seeds).  The first batch wraps the graph in a delta-CSR
+        overlay (:class:`~repro.graph.mutable.MutableGraph`); samplers
+        read through it immediately, and vip-refresh scores follow per
+        ``streaming.refresh_on_mutation`` (incremental refresh vs the
+        frozen stale baseline).  Refresh fetch traffic stays priced
+        through the existing ``CACHE_REFRESH`` stage event.
         """
         closed = hasattr(workload, "on_complete")
         initial = workload.initial() if closed else list(workload)
@@ -292,12 +349,16 @@ class InferenceService:
 
         for req in initial:
             self._push(req.arrival, _ARRIVE, req)
+        for when, batch in (mutations or ()):
+            self._push(float(when), _MUTATE, batch)
 
         now = 0.0
         while self._heap:
             time, kind, _, payload = heapq.heappop(self._heap)
             now = max(now, time)
-            if kind == _ARRIVE:
+            if kind == _MUTATE:
+                self._apply_mutation(payload)
+            elif kind == _ARRIVE:
                 internal = self._admit(payload)
                 machine = self._route(internal)
                 self._queues[machine].append(internal)
@@ -346,6 +407,44 @@ class InferenceService:
         )
 
     # ------------------------------------------------------------------
+    def _apply_mutation(self, batch: "EdgeBatch") -> None:
+        """Land one edge-churn batch on the serving graph.
+
+        Lazily wraps the (reordered) base CSR in a
+        :class:`~repro.graph.mutable.MutableGraph` and re-points every
+        machine's sampler at it — from here on all sampling reads through
+        the overlay.  Endpoints arrive in the original dataset numbering
+        (the only one callers know) and are translated exactly like
+        request seeds.  Vertex-set changes are out of scope for serving:
+        the feature store has no rows for vertices that did not exist at
+        build time, so ``EdgeBatch`` (edges only) is the full vocabulary.
+        """
+        from repro.graph.mutable import EdgeBatch, MutableGraph
+
+        if not isinstance(self.graph, MutableGraph):
+            base = self.graph
+            if not self.streaming.refresh_on_mutation:
+                self._stale_vip_graph = base
+            self.graph = MutableGraph(
+                base, compact_cutoff=self.streaming.compact_cutoff)
+            for sampler in self.samplers:
+                sampler.graph = self.graph
+        n = self.graph.num_vertices
+        new_of_old = self.store.reordered.new_of_old
+        for arr in (batch.add_src, batch.add_dst,
+                    batch.del_src, batch.del_dst):
+            if len(arr) and (arr.min() < 0 or arr.max() >= n):
+                raise ValueError(
+                    f"mutation batch names vertices outside [0, {n})"
+                )
+        self.graph.apply(EdgeBatch(
+            add_src=new_of_old[batch.add_src],
+            add_dst=new_of_old[batch.add_dst],
+            del_src=new_of_old[batch.del_src],
+            del_dst=new_of_old[batch.del_dst],
+        ))
+        self.mutations_applied += 1
+
     def _try_flush(self, machine: int, now: float) -> None:
         """Flush as long as the batcher is due, then arm its deadline."""
         while True:

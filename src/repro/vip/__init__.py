@@ -21,6 +21,12 @@ from repro.vip.analytic import (
     vip_probabilities,
     vip_probabilities_dense,
 )
+from repro.vip.incremental import (
+    RefreshStats,
+    VIPSnapshot,
+    incremental_vip,
+    snapshot_vip,
+)
 from repro.vip.empirical import (
     montecarlo_inclusion_frequency,
     simulate_access_counts,
@@ -64,6 +70,10 @@ __all__ = [
     "vip_for_training_set",
     "vip_probabilities",
     "vip_probabilities_dense",
+    "RefreshStats",
+    "VIPSnapshot",
+    "incremental_vip",
+    "snapshot_vip",
     "montecarlo_inclusion_frequency",
     "simulate_access_counts",
     "CacheContext",

@@ -163,6 +163,11 @@ class TransitionTable:
 
     def __init__(self, graph: CSRGraph):
         self.graph = graph
+        #: Structure version this table was built against; checked by
+        #: :func:`transition_table` so an in-place graph mutation (which
+        #: must call :meth:`CSRGraph.bump_version`) can never silently
+        #: serve stale transitions.
+        self.version = graph.version
         self._edge: Dict[int, np.ndarray] = {}
         self._vertex: Dict[int, np.ndarray] = {}
         #: Cache-effectiveness counters (the transition-dedup tests and the
@@ -242,9 +247,16 @@ class TransitionTable:
 
 
 def transition_table(graph: CSRGraph) -> TransitionTable:
-    """The graph's (lazily created) shared :class:`TransitionTable`."""
+    """The graph's (lazily created) shared :class:`TransitionTable`.
+
+    The table pins the graph's structure-version token at creation; a
+    version mismatch (an in-place mutation declared via
+    :meth:`CSRGraph.bump_version`, which also drops the attached table —
+    this check additionally catches tables stashed elsewhere) invalidates
+    the table and builds a fresh one instead of serving stale transitions.
+    """
     table = graph._transition_table
-    if table is None:
+    if table is None or table.version != graph.version:
         table = TransitionTable(graph)
         graph._transition_table = table
     return table

@@ -1,0 +1,394 @@
+"""Incremental VIP refresh on a streaming graph (dirty-frontier recursion).
+
+:func:`repro.vip.analytic.vip_probabilities` evaluates Proposition 1 from
+scratch: every hop touches every row the recursion's support reaches.  When
+the *graph* changes by a small edge-churn batch, almost all of that work
+reproduces values the previous evaluation already holds, bit for bit — the
+per-row hop value
+
+    p[h](u) = 1 - prod_{v in row(u)} (1 - t(v) * p[h-1](v))
+
+depends only on (a) row ``u``'s neighbor list, (b) the per-source transition
+factor ``t(v) = min(1, f / d(v))``, and (c) ``p[h-1]`` at the row's sources.
+All three are local: a mutation batch perturbs them on an O(churn)-sized set
+of vertices, and the perturbation propagates per hop only into rows that
+*contain* a perturbed source.
+
+:func:`incremental_vip` exploits this.  Against a :class:`VIPSnapshot` of a
+previous evaluation it recomputes, per hop, only
+
+    R_h  =  D  ∪  in(T)  ∪  in(C_{h-1})
+
+where ``D`` is the graph's exact dirty frontier since the snapshot (rows
+whose content changed — :meth:`repro.graph.mutable.MutableGraph.
+dirty_frontier`), ``T`` the rows whose degree (hence transition factor)
+changed, ``C_{h-1}`` the rows whose hop-``h-1`` value actually changed, and
+``in(S)`` the rows of the *current* graph containing a member of ``S``.
+``C_h`` is then filtered **bitwise**: a recomputed row whose value came out
+identical does not propagate.  This confines the wave to the churn's
+expansion support — mutations far from the seed distribution's reach never
+propagate at all.
+
+Bit-identity
+------------
+The result is bit-identical to a full :func:`vip_probabilities` run on the
+materialized (compacted) graph, because every recomputed scalar runs the
+*same IEEE-754 operation sequence on the same operands* as the full
+evaluation, and every skipped scalar is carried over from a previous
+evaluation with the same property:
+
+* effective overlay rows are sorted and duplicate-free exactly like
+  compacted CSR rows, so per-row ``np.add.reduceat`` segments see the same
+  operands in the same order and length (numpy sums pairwise, so segment
+  *shape* matters — which is why rows whose length changed are always
+  recomputed rather than reasoned about);
+* transition factors are patched per dirty row with the same elementwise
+  formula :meth:`~repro.vip.analytic.TransitionTable.vertex_transition`
+  uses (the snapshot carries the per-fanout vertex arrays forward — the
+  "invalidate only dirty rows of the transition table" rule);
+* equation (2)'s log accumulation is replayed in hop order for exactly the
+  rows where some hop value changed.
+
+The hypothesis differential suite (``tests/streaming/``) asserts equality
+with ``==`` per element across random churn, both directednesses, and
+``-1`` fanouts.
+
+Past a churn cutoff (cumulative touched edge volume as a fraction of the
+dense sweep's total, ``num_hops * num_edges``) the wave is no longer
+cheaper than a sweep and the refresh falls back to the full evaluation on
+the materialized graph — same output, full cost — after pre-populating
+that graph's :class:`~repro.vip.analytic.TransitionTable` from the patched
+snapshot entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.mutable import MutableGraph
+from repro.vip.analytic import (VIPResult, _normalize_fanout,
+                                transition_table, vip_probabilities)
+
+#: Default fraction of the dense sweep's total edge volume
+#: (``num_hops * num_edges``) a refresh may touch, cumulatively across hops,
+#: before it falls back to a full recompute on the materialized graph.  The
+#: incremental path's per-edge cost is close to the dense sweep's, and the
+#: dense path additionally pays a CSR rebuild, so the crossover sits well
+#: past half the sweep volume; 0.5 is conservative.
+CHURN_CUTOFF = 0.5
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class RefreshStats:
+    """What one :func:`incremental_vip` call actually did."""
+
+    mode: str  #: ``"incremental"``, ``"full"`` (cutoff fallback), or ``"noop"``
+    dirty_rows: int = 0  #: |D| — rows whose content changed since the snapshot
+    rows_recomputed: int = 0  #: Σ_h |R_h|
+    edges_touched: int = 0  #: Σ_h (edge volume of R_h)
+    rows_changed: int = 0  #: Σ_h |C_h| — recomputed rows whose value changed
+
+
+@dataclass
+class VIPSnapshot:
+    """One consumer's view of a VIP evaluation on a streaming graph.
+
+    Pins the graph :attr:`version` the evaluation saw together with
+    everything the next refresh needs to be O(churn): the full
+    :class:`~repro.vip.analytic.VIPResult` (hopwise values are the
+    recursion state) and the per-fanout vertex-transition arrays (the
+    consumer's slice of the transition table, patched — not recomputed —
+    on refresh).  Snapshots are independent: any number of consumers
+    (serving machines, training partitions) can hold snapshots of the same
+    graph at different versions.
+    """
+
+    version: int
+    initial: np.ndarray
+    fanouts: Tuple[int, ...]
+    result: VIPResult
+    vertex_transitions: Dict[int, np.ndarray]
+    num_vertices: int
+    stats: RefreshStats = field(
+        default_factory=lambda: RefreshStats(mode="full"))
+
+    @property
+    def access(self) -> np.ndarray:
+        return self.result.access
+
+
+def _vertex_transition_values(key: int, degrees: np.ndarray) -> np.ndarray:
+    """``min(1, f / max(d, 1))`` — elementwise identical to
+    :meth:`TransitionTable.vertex_transition` on the same degrees."""
+    if key < 0:
+        return np.ones(len(degrees), dtype=np.float64)
+    return np.minimum(key / np.maximum(degrees.astype(np.float64), 1.0), 1.0)
+
+
+def _capture_transitions(mgraph: MutableGraph,
+                         fanouts: Sequence[int]) -> Dict[int, np.ndarray]:
+    degrees = mgraph.degrees
+    out: Dict[int, np.ndarray] = {}
+    for fanout in fanouts:
+        key = _normalize_fanout(fanout)
+        if key not in out:
+            out[key] = _vertex_transition_values(key, degrees)
+    return out
+
+
+def snapshot_vip(
+    mgraph: MutableGraph,
+    initial: np.ndarray,
+    fanouts: Sequence[int],
+) -> VIPSnapshot:
+    """Full Proposition-1 evaluation on the materialized graph, captured as
+    the baseline :class:`VIPSnapshot` for later incremental refreshes."""
+    result = vip_probabilities(mgraph.materialize(), initial, fanouts)
+    return VIPSnapshot(
+        version=mgraph.version,
+        initial=np.asarray(initial, dtype=np.float64),
+        fanouts=tuple(int(f) for f in fanouts),
+        result=result,
+        vertex_transitions=_capture_transitions(mgraph, fanouts),
+        num_vertices=mgraph.num_vertices,
+    )
+
+
+def _padded(arr: np.ndarray, n: int, *, fill: float = 0.0) -> np.ndarray:
+    """``arr`` extended to length ``n`` (returned as-is when already
+    there — copy-on-write happens at patch time)."""
+    if len(arr) == n:
+        return arr
+    out = np.full(n, fill, dtype=np.float64)
+    out[:len(arr)] = arr
+    return out
+
+
+def _patch_transitions(snapshot: VIPSnapshot, mgraph: MutableGraph,
+                       stale_rows: np.ndarray) -> Dict[int, np.ndarray]:
+    """Dirty-row invalidation of the snapshot's transition-table slice:
+    only entries whose degree changed (plus new vertices) are recomputed;
+    everything else is carried forward bit-for-bit."""
+    n = mgraph.num_vertices
+    degrees = mgraph.degrees
+    out: Dict[int, np.ndarray] = {}
+    for key, tv in snapshot.vertex_transitions.items():
+        fresh = _padded(tv, n, fill=1.0 if key < 0 else 0.0)
+        if len(stale_rows) or n != len(tv):
+            fresh = fresh.copy() if fresh is tv else fresh
+            idx = stale_rows
+            if n != len(tv):  # new vertices need real entries, not fill
+                idx = np.union1d(stale_rows,
+                                 np.arange(len(tv), n, dtype=np.int64))
+            fresh[idx] = _vertex_transition_values(key, degrees[idx])
+        out[key] = fresh
+    return out
+
+
+def _recompute_rows(mgraph: MutableGraph, rows: np.ndarray, tv: np.ndarray,
+                    p_prev: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Hop values of ``rows`` on the current graph — the dense sweep's
+    arithmetic restricted to those rows.
+
+    Identical scalar sequence as :func:`~repro.vip.analytic._hop_dense`:
+    per edge slot ``1 - t(v)·p(v)`` → ``max(·, 0)`` → ``log`` →
+    per-segment ``np.add.reduceat`` (rows are sorted and duplicate-free on
+    both the overlay and the compacted CSR, so each segment has the same
+    operands, order, and length — same pairwise-sum tree) → ``exp`` →
+    ``1 - ·`` → ``clip``.
+    """
+    counts, flat = mgraph.rows_concat(rows)
+    values = np.zeros(len(rows), dtype=np.float64)
+    nonempty = np.flatnonzero(counts > 0)
+    if len(nonempty):
+        vals = tv[flat] * p_prev[flat]
+        np.subtract(1.0, vals, out=vals)
+        np.maximum(vals, 0.0, out=vals)
+        with np.errstate(divide="ignore"):
+            np.log(vals, out=vals)
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        row_log = np.add.reduceat(vals, offsets[nonempty])
+        np.exp(row_log, out=row_log)
+        np.subtract(1.0, row_log, out=row_log)
+        values[nonempty] = row_log
+    np.clip(values, 0.0, 1.0, out=values)
+    return values, int(counts.sum())
+
+
+def _full_refresh(mgraph: MutableGraph, initial: np.ndarray,
+                  fanouts: Tuple[int, ...],
+                  vtrans: Dict[int, np.ndarray],
+                  stats: RefreshStats) -> VIPSnapshot:
+    """Cutoff fallback: full evaluation on the materialized graph, with its
+    transition table pre-populated from the patched snapshot entries (they
+    are bit-identical to what the table would compute)."""
+    graph = mgraph.materialize()
+    table = transition_table(graph)
+    for key, tv in vtrans.items():
+        if key not in table._vertex:
+            entry = tv.copy()
+            entry.flags.writeable = False
+            table._vertex[key] = entry
+    result = vip_probabilities(graph, initial, fanouts)
+    return VIPSnapshot(
+        version=mgraph.version,
+        initial=np.asarray(initial, dtype=np.float64),
+        fanouts=fanouts,
+        result=result,
+        vertex_transitions=vtrans,
+        num_vertices=mgraph.num_vertices,
+        stats=stats,
+    )
+
+
+def incremental_vip(
+    mgraph: MutableGraph,
+    snapshot: VIPSnapshot,
+    initial: Optional[np.ndarray] = None,
+    *,
+    churn_cutoff: float = CHURN_CUTOFF,
+) -> VIPSnapshot:
+    """Refresh a VIP evaluation after graph churn, touching O(churn) rows.
+
+    Parameters
+    ----------
+    mgraph:
+        The streaming graph; must be the one ``snapshot`` was taken on
+        (its delta log must still cover ``snapshot.version``).
+    snapshot:
+        The consumer's previous evaluation (:func:`snapshot_vip` or a
+        previous refresh).
+    initial:
+        New ``p[0]``; defaults to the snapshot's.  Seed-distribution drift
+        is handled the same way graph churn is — rows whose ``p[0]``
+        changed seed the hop-1 wave — so serving can refresh one call per
+        window even when both the graph and the hot set moved.
+    churn_cutoff:
+        Fraction of the dense sweep's total edge volume
+        (``num_hops * num_edges``) the refresh may touch, cumulatively
+        across hops, before falling back to the full evaluation
+        (``0`` forces full, ``1`` never falls back).
+
+    Returns
+    -------
+    VIPSnapshot
+        The refreshed snapshot; ``.result`` is **bit-identical** to
+        ``vip_probabilities(mgraph.materialize(), initial, fanouts)`` and
+        ``.stats`` records which path ran and how much it touched.
+    """
+    if not 0.0 <= churn_cutoff <= 1.0:
+        raise ValueError(f"churn_cutoff must be in [0, 1], got {churn_cutoff}")
+    n = mgraph.num_vertices
+    m = max(mgraph.num_edges, 1)
+    fanouts = snapshot.fanouts
+    if initial is None:
+        # Vertex growth since the snapshot: new vertices seed at p0 = 0.
+        initial = _padded(snapshot.initial, n)
+    p0 = np.asarray(initial, dtype=np.float64)
+    if len(p0) != n:
+        raise ValueError(
+            f"initial must have one probability per vertex ({n}), got {len(p0)}"
+        )
+
+    dirty = mgraph.dirty_frontier(snapshot.version)
+    deg_changed = mgraph.degree_changed(snapshot.version)
+    p0_old = _padded(snapshot.initial, n)
+    seed_changed = np.flatnonzero(p0 != p0_old)
+    stats = RefreshStats(mode="incremental", dirty_rows=len(dirty))
+
+    vtrans = _patch_transitions(snapshot, mgraph, deg_changed)
+    if not len(dirty) and not len(seed_changed):
+        # Nothing observable changed (mutations cancelled out, same seeds):
+        # the previous result is already the answer.
+        stats.mode = "noop"
+        return VIPSnapshot(
+            version=mgraph.version, initial=p0, fanouts=fanouts,
+            result=VIPResult(total=_padded(snapshot.result.total, n),
+                             hopwise=[_padded(h, n)
+                                      for h in snapshot.result.hopwise],
+                             initial=p0),
+            vertex_transitions=vtrans, num_vertices=n, stats=stats,
+        )
+
+    hop_arrays: List[np.ndarray] = []
+    changed_union = _EMPTY
+    changed_prev = seed_changed
+    p_prev = p0
+    old_prev = p0_old
+    for h, fanout in enumerate(fanouts):
+        # Dirty rows are recomputed at every hop: their length changed, and
+        # numpy's reductions sum pairwise, so even inserting an exact-zero
+        # log term can regroup the *other* operands and move low-order bits.
+        # Transition-stale vertices are different — the rows containing them
+        # kept their length and operand order, and a source with p = 0
+        # contributes 1 - t·0 = 1.0 → log = +0.0 bit-identically under the
+        # old and new factor alike — so they only need recomputing where the
+        # source is live under either hop array.  That filter is what keeps
+        # hub-degree churn far from the seed distribution's reach cheap.
+        if len(deg_changed):
+            t_active = deg_changed[(p_prev[deg_changed] != 0.0)
+                                   | (old_prev[deg_changed] != 0.0)]
+        else:
+            t_active = deg_changed
+        rows = np.union1d(
+            np.union1d(dirty, mgraph.in_rows_union(t_active)),
+            mgraph.in_rows_union(changed_prev))
+        old_h = _padded(snapshot.result.hopwise[h], n)
+        if not len(rows):
+            hop_arrays.append(old_h)
+            changed_prev = _EMPTY
+            p_prev = old_h
+            old_prev = old_h
+            continue
+        tv = vtrans[_normalize_fanout(fanout)]
+        values, edge_volume = _recompute_rows(mgraph, rows, tv, p_prev)
+        stats.rows_recomputed += len(rows)
+        stats.edges_touched += edge_volume
+        # Cumulative gate against the dense sweep's total volume: per-hop
+        # volume is bounded by m, so cutoff 1.0 can never trip and 0.0
+        # trips on the first touched edge.
+        if stats.edges_touched > churn_cutoff * (len(fanouts) * m):
+            stats.mode = "full"
+            return _full_refresh(mgraph, p0, fanouts, vtrans, stats)
+        # Bitwise filter: only rows whose value actually moved propagate.
+        moved = values != old_h[rows]
+        changed = rows[moved]
+        stats.rows_changed += len(changed)
+        if len(changed):
+            # Always copy: old_h must stay pristine (it is next hop's
+            # old_prev in the activity filter).
+            new_h = old_h.copy()
+            new_h[changed] = values[moved]
+            hop_arrays.append(new_h)
+            changed_union = np.union1d(changed_union, changed)
+        else:
+            hop_arrays.append(old_h)
+        changed_prev = changed
+        p_prev = hop_arrays[-1]
+        old_prev = old_h
+
+    # Equation (2): replay the hop-ordered log accumulation on exactly the
+    # rows where some hop value changed; all other totals carry over.
+    total = _padded(snapshot.result.total, n)
+    if len(changed_union):
+        total = total.copy() if total is snapshot.result.total else total
+        acc = np.zeros(len(changed_union), dtype=np.float64)
+        for p_h in hop_arrays:
+            with np.errstate(divide="ignore"):
+                acc += np.log(np.maximum(1.0 - p_h[changed_union], 0.0))
+        np.exp(acc, out=acc)
+        np.subtract(1.0, acc, out=acc)
+        np.clip(acc, 0.0, 1.0, out=acc)
+        total[changed_union] = acc
+
+    return VIPSnapshot(
+        version=mgraph.version, initial=p0, fanouts=fanouts,
+        result=VIPResult(total=total, hopwise=hop_arrays, initial=p0),
+        vertex_transitions=vtrans, num_vertices=n, stats=stats,
+    )

@@ -1,0 +1,178 @@
+"""End-to-end streaming wiring: config, generator, serving, and training.
+
+The overlay and the incremental refresh are exercised in isolation by their
+own suites; this file checks the seams — :class:`StreamingConfig`
+validation through :meth:`RunConfig.validate`, the :func:`edge_stream`
+live-mutation contract, ``InferenceService.run(..., mutations=...)`` in
+both refresh modes, and :meth:`SalientPP.apply_graph_updates` keeping the
+per-partition VIP matrix bit-identical to a from-scratch recompute on the
+compacted graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, StreamingConfig
+from repro.graph import erdos_renyi, load_dataset, power_law_community_graph
+from repro.graph.generators import edge_stream
+from repro.graph.mutable import EdgeBatch, MutableGraph
+from repro.vip.analytic import (
+    uniform_minibatch_probability,
+    vip_probabilities,
+)
+
+
+class TestStreamingConfig:
+    def test_defaults_validate(self):
+        RunConfig(streaming=StreamingConfig()).validate()
+
+    def test_bad_churn_cutoff_rejected(self):
+        with pytest.raises(ValueError, match="churn_cutoff"):
+            RunConfig(streaming=StreamingConfig(churn_cutoff=1.5)).validate()
+
+    def test_bad_compact_cutoff_rejected(self):
+        with pytest.raises(ValueError, match="compact_cutoff"):
+            RunConfig(
+                streaming=StreamingConfig(compact_cutoff=-0.1)).validate()
+
+
+class TestEdgeStream:
+    def test_live_apply_contract(self):
+        """Batches are generated against the *current* graph: applying each
+        one before drawing the next never references missing vertices, and
+        deletions name edges that exist at generation time."""
+        g = erdos_renyi(200, 6.0, seed=0)
+        mg = MutableGraph(g, undirected=True, compact_cutoff=None)
+        n_ops = 0
+        for batch in edge_stream(mg, num_batches=5, batch_edges=20, seed=1):
+            for s, d in zip(batch.del_src, batch.del_dst):
+                assert d in mg.neighbors(int(s))
+            mg.apply(batch)
+            n_ops += batch.num_ops
+        assert n_ops > 0
+        assert mg.version == 5
+
+    def test_community_local_insertions(self):
+        g, comm = power_law_community_graph(300, 6.0, num_communities=5,
+                                            intra_fraction=0.9, seed=2)
+        mg = MutableGraph(g, undirected=True, compact_cutoff=None)
+        intra = total = 0
+        for batch in edge_stream(mg, num_batches=4, batch_edges=25,
+                                 delete_fraction=0.0, community=comm,
+                                 seed=3):
+            intra += int(np.sum(comm[batch.add_src] == comm[batch.add_dst]))
+            total += len(batch.add_src)
+            mg.apply(batch)
+        assert total > 0 and intra == total
+
+    def test_pool_restricted(self):
+        g = erdos_renyi(100, 5.0, seed=4)
+        mg = MutableGraph(g, undirected=True, compact_cutoff=None)
+        pool = np.arange(20)
+        for batch in edge_stream(mg, num_batches=3, batch_edges=10,
+                                 pool=pool, seed=5):
+            for arr in (batch.add_src, batch.add_dst, batch.del_src):
+                assert len(arr) == 0 or arr.max() < 20
+            mg.apply(batch)
+
+
+@pytest.fixture(scope="module")
+def built_system():
+    from repro import SalientPP
+
+    ds = load_dataset("tiny", seed=0)
+    cfg = RunConfig(num_machines=2, replication_factor=0.2, batch_size=16)
+    return SalientPP.build(ds, cfg), ds
+
+
+class TestServingMutations:
+    def _run(self, system, refresh):
+        from dataclasses import replace
+
+        from repro.serving import InferenceService
+        from repro.serving.workload import poisson_requests
+
+        system.config = replace(
+            system.config, streaming=StreamingConfig(
+                refresh_on_mutation=refresh))
+        svc = InferenceService.from_system(system)
+        N = system.dataset.graph.num_vertices
+        wl = poisson_requests(np.arange(N), 30, 4, rate_rps=50.0, seed=3)
+        rng = np.random.default_rng(0)
+        muts = [(0.1 + 0.2 * i,
+                 EdgeBatch(add_src=rng.integers(0, N, 6),
+                           add_dst=rng.integers(0, N, 6)))
+                for i in range(3)]
+        report = svc.run(wl, mutations=muts)
+        return svc, report
+
+    def test_mutations_applied_with_refresh(self, built_system):
+        system, _ = built_system
+        svc, report = self._run(system, refresh=True)
+        assert svc.mutations_applied == 3
+        assert isinstance(svc.graph, MutableGraph)
+        assert len(report.records) > 0
+
+    def test_stale_cache_mode_freezes_vip_graph(self, built_system):
+        system, _ = built_system
+        svc, report = self._run(system, refresh=False)
+        assert svc.mutations_applied == 3
+        # VIP scoring still runs against the frozen pre-churn base
+        assert svc._stale_vip_graph is not None
+        assert not isinstance(svc._stale_vip_graph, MutableGraph)
+        assert len(report.records) > 0
+
+    def test_out_of_range_mutation_rejected(self, built_system):
+        system, _ = built_system
+        from repro.serving import InferenceService
+        from repro.serving.workload import poisson_requests
+
+        svc = InferenceService.from_system(system)
+        N = system.dataset.graph.num_vertices
+        wl = poisson_requests(np.arange(N), 5, 4, rate_rps=50.0, seed=3)
+        with pytest.raises(ValueError):
+            svc.run(wl, mutations=[
+                (0.1, EdgeBatch(add_src=[0], add_dst=[N + 7]))])
+
+
+class TestTrainingMutations:
+    def test_vip_matrix_tracks_full_recompute(self, built_system):
+        system, _ = built_system
+        N = system.reordered.dataset.graph.num_vertices
+        rng = np.random.default_rng(7)
+        for _ in range(2):
+            system.apply_graph_updates(
+                EdgeBatch(add_src=rng.integers(0, N, 10),
+                          add_dst=rng.integers(0, N, 10),
+                          del_src=rng.integers(0, N, 3),
+                          del_dst=rng.integers(0, N, 3)))
+        mg = system.reordered.dataset.graph
+        assert isinstance(mg, MutableGraph)
+        assert all(s.graph is mg for s in system.trainer.samplers)
+        mat = mg.materialize()
+        tr = system.trainer
+        for k in range(len(tr.local_train)):
+            p0 = uniform_minibatch_probability(
+                mat.num_vertices, tr.local_train[k], tr.batch_size)
+            ref = vip_probabilities(mat, p0, tr.fanouts).access
+            assert np.array_equal(system.vip_matrix[k], ref)
+        # training still runs on the mutated graph
+        result = system.train_epoch(0, dry_run=True)
+        assert result.epoch_time > 0
+
+    def test_live_backend_guard(self, built_system):
+        system, _ = built_system
+
+        class FakeLive:
+            is_live = True
+
+            def close(self):
+                pass
+
+        system._backend = FakeLive()
+        try:
+            with pytest.raises(RuntimeError, match="live cluster backend"):
+                system.apply_graph_updates(
+                    EdgeBatch(add_src=[0], add_dst=[1]))
+        finally:
+            system._backend = None
