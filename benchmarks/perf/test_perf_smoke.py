@@ -72,3 +72,92 @@ def test_harness_entry_schema(small_dataset):
     assert set(entry) >= {"wall_s", "rows_per_s", "speedup_vs_dense"}
     assert entry["wall_s"] > 0
     assert entry["rows_per_s"] > 0
+
+
+# ----------------------------------------------------------------------
+# run.py trajectory + gating logic (pure, no harness runs)
+# ----------------------------------------------------------------------
+
+_FAKE_DOC = {
+    "dataset": "papers-mini",
+    "stages": {
+        "train.epoch_bsp_multiproc": {
+            "wall_s": 1.5, "dense_wall_s": 1.8, "speedup_vs_dense": 1.2,
+            "spawn_wall_s": 4.0, "warm_start_wall_s": 0.1, "cores": 8,
+            "mean_loss": 2.9,
+        },
+        "gather.into": {"wall_s": 0.2, "speedup_vs_dense": 1.4},
+    },
+}
+
+
+def test_append_history_entries_are_jsonl(tmp_path):
+    import json
+
+    import run
+
+    path = tmp_path / "history.jsonl"
+    first = run.append_history(_FAKE_DOC, str(path))
+    run.append_history(_FAKE_DOC, str(path))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2  # appends, never truncates
+    for line in lines:
+        entry = json.loads(line)
+        assert entry["dataset"] == "papers-mini"
+        assert "timestamp_utc" in entry and "git_sha" in entry
+        mp = entry["stages"]["train.epoch_bsp_multiproc"]
+        assert mp["wall_s"] == 1.5 and mp["cores"] == 8
+        assert "mean_loss" not in mp  # compact trajectory, walls only
+    assert first["stages"]["gather.into"] == {
+        "wall_s": 0.2, "speedup_vs_dense": 1.4}
+
+
+def test_committed_history_file_is_valid_jsonl():
+    """The committed trajectory (when present) must stay parseable — the
+    harness appends blindly, so a torn line would poison every later run."""
+    import json
+    import os
+
+    import run
+
+    path = os.path.join(os.path.dirname(os.path.abspath(run.__file__)),
+                        "history.jsonl")
+    if not os.path.exists(path):
+        pytest.skip("no committed history yet")
+    with open(path) as fh:
+        for line in fh:
+            entry = json.loads(line)
+            assert "stages" in entry and "timestamp_utc" in entry
+
+
+def test_parallel_gates_conditional_on_cores():
+    """Speedup floors and amortization ratios bind only at the baseline's
+    requires_cores — a 1-core run records the numbers without failing."""
+    import copy
+
+    import run
+
+    baselines = {
+        "max_regression": 2.5,
+        "stages": {
+            "train.epoch_bsp_multiproc": {
+                "wall_s": 4.0, "min_speedup_vs_dense": 1.0,
+                "max_wall_vs_dense": 1.2, "requires_cores": 2,
+            },
+        },
+    }
+    slow = copy.deepcopy(_FAKE_DOC)
+    entry = slow["stages"]["train.epoch_bsp_multiproc"]
+    entry.update(wall_s=3.0, speedup_vs_dense=0.6, cores=1)
+    assert run.check_against_baselines(slow, baselines) == []
+
+    entry["cores"] = 8  # same numbers with real cores -> both gates fire
+    failures = run.check_against_baselines(slow, baselines)
+    assert len(failures) == 2
+    assert any("speedup_vs_dense" in f for f in failures)
+    assert any("max_wall_vs_dense" in f or "dense_wall_s" in f
+               for f in failures)
+
+    good = copy.deepcopy(_FAKE_DOC)
+    good["stages"]["train.epoch_bsp_multiproc"]["cores"] = 8
+    assert run.check_against_baselines(good, baselines) == []

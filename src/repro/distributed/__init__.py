@@ -54,8 +54,17 @@ from repro.distributed.executor import (
     StepRecord,
 )
 from repro.distributed.multiproc import (  # must import after executor
+    WORKER_POOL,
     MultiprocBackend,
     WorkerFailedError,
+    WorkerPool,
+)
+from repro.distributed.shm_plane import (
+    GradientPlane,
+    GradSlab,
+    SlabLayout,
+    SlabStateError,
+    TornReadError,
 )
 from repro.distributed.wire import WireError
 
@@ -66,6 +75,13 @@ __all__ = [
     "InProcessBackend",
     "MultiprocBackend",
     "WorkerFailedError",
+    "WorkerPool",
+    "WORKER_POOL",
+    "GradientPlane",
+    "GradSlab",
+    "SlabLayout",
+    "SlabStateError",
+    "TornReadError",
     "WireError",
     "GBPS",
     "ClusterSpec",

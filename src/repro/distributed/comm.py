@@ -97,6 +97,32 @@ def average_gradient_arrays(
     return out
 
 
+def average_gradient_fields(
+    per_machine: List[List[np.ndarray]],
+    out: List[np.ndarray],
+) -> None:
+    """In-place variant of :func:`average_gradient_arrays` over dense fields.
+
+    ``per_machine[k][i]`` is machine ``k``'s gradient for parameter ``i``
+    as a dense array (missing gradients already materialized as zeros —
+    which is elementwise exactly what the scalar-``0.0`` contribution in
+    :func:`average_gradient_arrays` adds); ``out[i]`` receives the average
+    without any intermediate allocation.  The accumulation order is the
+    collective's single floating-point definition — machine 0 first, then
+    ``+= g_1 + g_2 ...``, one division by K — so results are bit-identical
+    to :func:`average_gradient_arrays` on the same values.  The multiproc
+    backend's shared-memory gradient plane averages worker slabs with this.
+    """
+    k = len(per_machine)
+    if k == 0:
+        raise ValueError("no gradient sets to average")
+    for i, acc in enumerate(out):
+        acc[...] = per_machine[0][i]
+        for fields in per_machine[1:]:
+            acc += fields[i]
+        acc /= k
+
+
 def all_reduce_gradients(
     models: List[Module],
     ledger: Optional[CommLedger] = None,

@@ -203,6 +203,43 @@ class CoalescedFetchPlan:
                    - len(self.unique_remote_ids))
 
 
+def _is_run(pos: np.ndarray) -> bool:
+    """True when ``pos`` is one contiguous run of row indices.
+
+    Plan positions come from ``np.flatnonzero`` and are strictly
+    increasing, so spanning exactly ``len - 1`` means consecutive."""
+    n = len(pos)
+    return n > 0 and int(pos[n - 1]) - int(pos[0]) == n - 1
+
+
+def _scatter_rows(out: np.ndarray, pos: np.ndarray, rows: np.ndarray) -> None:
+    """``out[pos] = rows``, as a plain slice store when ``pos`` is one
+    contiguous run — fancy-index scatter walks an index array per row."""
+    if len(pos) == 0:
+        return
+    if _is_run(pos):
+        lo = int(pos[0])
+        out[lo:lo + len(pos)] = rows
+    else:
+        out[pos] = rows
+
+
+def _rows_into(out: np.ndarray, pos: np.ndarray, src: np.ndarray,
+               idx: np.ndarray) -> None:
+    """``out[pos] = src[idx]`` without materializing ``src[idx]`` when
+    ``pos`` is one contiguous run into a C-contiguous ``out`` — the
+    gather then lands directly in the destination rows (``np.take`` with
+    ``out=``), saving the intermediate row matrix the two-step spelling
+    allocates per call."""
+    if len(pos) == 0:
+        return
+    if _is_run(pos) and out.flags.c_contiguous:
+        lo = int(pos[0])
+        np.take(src, idx, axis=0, out=out[lo:lo + len(pos)])
+    else:
+        out[pos] = src[idx]
+
+
 class GatherArena:
     """Reusable gather output matrices for the per-batch hot path.
 
@@ -229,6 +266,10 @@ class GatherArena:
                 or buf.dtype != dtype):
             cap = rows if buf is None else max(rows, buf.shape[0])
             buf = np.empty((cap, dim), dtype=dtype)
+            # Pre-touch: commit every page now, once, instead of paying
+            # minor faults spread across the first gathers that grow into
+            # the fresh allocation (np.empty maps lazily).
+            buf.fill(0)
             self._bufs[key] = buf
         return buf[:rows]
 
@@ -622,13 +663,27 @@ class PartitionedFeatureStore:
         (every row is written) and becomes the returned feature matrix.
         """
         store = self.stores[plan.machine]
+        if (out is None and not store.has_dynamic_cache
+                and len(plan.local_ids) == len(plan.ids)):
+            # All-local plan with no caller buffer: the fancy-indexed local
+            # rows are already the full output in plan order (local_pos is
+            # then arange(len(ids))) — skip the second matrix entirely.
+            return store.local_rows(plan.local_ids), GatherStats(
+                total_rows=len(plan.ids),
+                gpu_rows=plan.gpu_rows,
+                cpu_rows=plan.cpu_rows,
+                cached_rows=0,
+                remote_rows=0,
+                remote_per_peer=np.zeros(self.num_machines, dtype=np.int64),
+            )
         out = self._output_for(plan, out)
-        out[plan.local_pos] = store.local_rows(plan.local_ids)
-        out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
+        _rows_into(out, plan.local_pos, store.local_features,
+                   plan.local_ids - store.lo)
+        _scatter_rows(out, plan.cached_pos, store.cached_rows(plan.cached_ids))
         remote_rows, remote_per_peer = self._fetch_remote_rows(
             plan.machine, plan.remote_ids
         )
-        out[plan.remote_pos] = remote_rows
+        _scatter_rows(out, plan.remote_pos, remote_rows)
 
         stats = GatherStats(
             total_rows=len(plan.ids),
@@ -680,10 +735,12 @@ class PartitionedFeatureStore:
         results = []
         for i, (plan, fresh) in enumerate(zip(cplan.plans, cplan.first_request)):
             out = self._output_for(plan, None if outs is None else outs[i])
-            out[plan.local_pos] = store.local_rows(plan.local_ids)
-            out[plan.cached_pos] = store.cached_rows(plan.cached_ids)
+            _rows_into(out, plan.local_pos, store.local_features,
+                       plan.local_ids - store.lo)
+            _scatter_rows(out, plan.cached_pos,
+                          store.cached_rows(plan.cached_ids))
             slots = cplan.plan_slots(i)
-            out[plan.remote_pos] = pool_rows[slots]
+            _rows_into(out, plan.remote_pos, pool_rows, slots)
 
             per_peer = np.zeros(self.num_machines, dtype=np.int64)
             if fresh.any():

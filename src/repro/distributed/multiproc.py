@@ -14,18 +14,37 @@ Architecture
 The **coordinator** (this process) builds the system as usual, then:
 
 * copies each machine's local feature rows, the reordered graph's CSR
-  arrays, and the labels into ``multiprocessing.shared_memory`` segments;
-* spawns one worker per machine (``spawn`` context — no inherited state)
-  with a picklable :class:`WorkerSpec` naming the segments and carrying the
-  machine's config slice (seeds, fanouts, model hyperparameters, its cache
-  selection and train ids);
-* drives epochs over duplex pipes using the :mod:`repro.distributed.wire`
-  format, receiving per-step messages in machine order (determinism),
-  averaging gradients with the in-process collective's exact operation
-  order (:func:`~repro.distributed.comm.average_gradient_arrays`), and
-  assembling the epoch's :class:`EpochReport`.
+  arrays, and the labels into ``multiprocessing.shared_memory`` segments,
+  and creates one extra ``grads`` segment holding the
+  :class:`~repro.distributed.shm_plane.GradientPlane` — ``K + 1`` seqlock-
+  guarded gradient slabs (one per worker plus the averaged result);
+* spawns one *generic* worker per machine (``spawn`` context — no inherited
+  state) and **binds** it over the pipe with a picklable-free
+  :class:`WorkerSpec` in :mod:`repro.distributed.wire` format, naming the
+  segments and carrying the machine's config slice (seeds, fanouts, model
+  hyperparameters, its cache selection and train ids);
+* drives epochs over duplex pipes that carry **control tokens only**: per
+  step the worker writes its gradients into its shared slab and sends a
+  ~30-byte ``step`` token; the coordinator averages the slabs in place
+  (:func:`~repro.distributed.comm.average_gradient_fields` — the in-process
+  collective's exact floating-point sequence), publishes the averaged slab,
+  and replies with ``avg`` tokens.  No per-step array ever crosses a pipe.
 
-Each **worker** attaches the segments read-only (with
+Telemetry is **batched**: step records, stage events, the synchronized
+model state, and compact fetch-plan *audit digests* (per-step
+``[total, gpu, cpu, cached, remote, coalesced]`` + per-peer remote row
+counts, recomputed worker-side from the plan itself) accumulate in the
+worker and ship once per epoch in the ``done`` message.  The coordinator
+cross-checks every digest against the reported gather stats, so a worker
+that miscounts its remote rows still fails the epoch loudly — without
+round-tripping full encoded plans on the hot path.
+
+The coordinator's receive loop is event-driven:
+``multiprocessing.connection.wait()`` over every live pipe and process
+sentinel, draining into per-worker inboxes — no 20 ms polling granularity,
+and machine-order receives can no longer starve behind a slow worker.
+
+Each **worker** attaches the segments (with
 ``multiprocessing.resource_tracker`` registration suppressed — the
 coordinator owns the lifecycle, so only its create/unlink pair is ever
 tracked) and rebuilds its machine's runtime from the spec: a
@@ -36,18 +55,26 @@ model replica seeded exactly as the in-process trainer's, and a
 segments — so "remote" fetches really cross a process boundary in plan
 terms while the rows come from shared memory.
 
-Workers send their :class:`FetchPlan`\\ s (and the pipelined engine's
-:class:`CoalescedFetchPlan`\\ s) over the wire; the coordinator *audits*
-every plan against the reported gather stats (recomputing per-peer owners
-from the reorder offsets), so the wire codecs sit on the hot path and a
-worker that miscounts its remote rows fails the epoch loudly.
+Warm worker pool
+----------------
+Spawning K interpreters and importing numpy in each costs seconds; binding
+a spec costs milliseconds.  A backend with :attr:`MultiprocBackend.keep_warm`
+set **parks** its workers into the module-level :data:`WORKER_POOL` on
+clean close (they release every segment view and wait idle); the next
+backend whose cluster *fingerprint* (a content hash over every WorkerSpec —
+seeds, id arrays, hyperparameters, segment shapes — excluding the per-run
+segment names) matches acquires them and rebinds, amortizing the spawn cost
+across ``SalientPP`` runs.  Parking is off by default so teardown-sensitive
+callers (and the fault-injection suite) see every process dead after
+``close()``; fault-injected or mid-epoch clusters are never parked.
 
-Failure semantics: a worker that dies, hangs past the timeout, or reports
-an exception raises :class:`WorkerFailedError`; the backend then shuts the
-whole cluster down — every worker terminated and joined, every pipe closed,
-every shared-memory segment unlinked — before the error propagates.  A
-``weakref.finalize`` guard performs the same cleanup at interpreter exit if
-a caller forgets :meth:`MultiprocBackend.close`.
+Failure semantics: a worker that dies, hangs past the timeout, violates the
+slab protocol, or reports an exception raises :class:`WorkerFailedError`;
+the backend then shuts the whole cluster down — every worker terminated and
+joined, every pipe closed, every shared-memory segment unlinked — before
+the error propagates.  A ``weakref.finalize`` guard performs the same
+cleanup at interpreter exit if a caller forgets
+:meth:`MultiprocBackend.close`.
 
 Scope: ``bsp`` and ``pipelined`` engines, static caches, partitioned
 storage.  Dynamic caches mutate per-gather (workers attach read-only) and
@@ -57,14 +84,18 @@ validation.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
+import hashlib
 import os
 import secrets
 import sys
 import time
 import traceback
 import weakref
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -72,11 +103,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.distributed.cluster import CLUSTER_BACKENDS, ClusterBackend
-from repro.distributed.comm import (
-    CommLedger,
-    average_gradient_arrays,
-    gradient_nbytes,
-)
+from repro.distributed.comm import CommLedger, gradient_nbytes
 from repro.distributed.engine import PrefetchIterator, train_batch
 from repro.distributed.executor import EpochReport, StepRecord, _candidate_edges
 from repro.distributed.feature_store import (
@@ -86,15 +113,12 @@ from repro.distributed.feature_store import (
     MachineStore,
     PartitionedFeatureStore,
 )
-from repro.distributed.wire import (
-    WireError,
-    decode_coalesced_plan,
-    decode_fetch_plan,
-    encode_coalesced_plan,
-    encode_fetch_plan,
-    pack_message,
-    unpack_message,
+from repro.distributed.shm_plane import (
+    GradientPlane,
+    SlabLayout,
+    SlabStateError,
 )
+from repro.distributed.wire import WireError, pack_message, unpack_message
 from repro.utils.rng import derive_seed, machine_stream_seed
 
 # NOTE: repro.pipeline modules are imported lazily inside functions — same
@@ -105,6 +129,11 @@ from repro.utils.rng import derive_seed, machine_stream_seed
 SUPPORTED_ENGINES = ("bsp", "pipelined")
 
 _READY_TIMEOUT_S = 120.0
+_PARK_TIMEOUT_S = 15.0
+
+#: Leading columns of a fetch-plan audit digest row (before the per-peer
+#: remote counts): total, gpu, cpu, cached, remote, coalesced.
+DIGEST_HEAD = 6
 
 
 class WorkerFailedError(RuntimeError):
@@ -132,12 +161,13 @@ class SegmentSpec:
 class WorkerSpec:
     """Everything one worker needs to rebuild its machine's runtime.
 
-    Plain picklable data only (ints, strings, ndarrays, segment names) —
-    the spawn context pickles it into the child.  Seeds arrive fully
-    derived: the coordinator computes each machine's stream seeds with
-    :func:`machine_stream_seed` (functions of run seed, stream name, and
-    machine id only), so a worker's RNG streams can never depend on spawn
-    order, pids, or import order — and are exactly the in-process
+    Plain wire-encodable data only (ints, strings, ndarrays, segment
+    names) — the coordinator ships it over the pipe in a ``bind`` message,
+    so a parked warm worker can be rebound without respawning.  Seeds
+    arrive fully derived: the coordinator computes each machine's stream
+    seeds with :func:`machine_stream_seed` (functions of run seed, stream
+    name, and machine id only), so a worker's RNG streams can never depend
+    on spawn order, pids, or import order — and are exactly the in-process
     trainer's streams for the same machine.
     """
 
@@ -162,10 +192,83 @@ class WorkerSpec:
     part_offsets: np.ndarray
     local_train: np.ndarray
     cache_ids: np.ndarray
-    segments: Dict[str, SegmentSpec]  # "feat0".."featK-1", "indptr", "indices", "labels"
+    #: "feat0".."featK-1", "indptr", "indices", "labels", "grads"
+    segments: Dict[str, SegmentSpec]
     #: Fault injection: ``(epoch, step)`` at which this worker hard-exits
     #: (``os._exit``) mid-epoch, before reporting the step.  Test-only.
     fail_at: Optional[Tuple[int, int]] = None
+
+
+_SPEC_SCALAR_FIELDS = (
+    "machine", "num_machines", "sampler_seed", "order_seed", "model_seed",
+    "num_vertices", "num_classes", "feature_dim", "batch_size", "hidden_dim",
+    "arch", "dropout", "lr", "engine", "pipeline_depth", "steps_per_epoch",
+    "gpu_rows",
+)
+_SPEC_ARRAY_FIELDS = ("part_offsets", "local_train", "cache_ids")
+
+
+def _encode_spec(spec: WorkerSpec) -> dict:
+    out = {name: getattr(spec, name) for name in _SPEC_SCALAR_FIELDS}
+    for name in _SPEC_ARRAY_FIELDS:
+        out[name] = getattr(spec, name)
+    out["fanouts"] = tuple(spec.fanouts)
+    out["segments"] = {
+        key: {"name": seg.name, "shape": tuple(seg.shape), "dtype": seg.dtype}
+        for key, seg in spec.segments.items()
+    }
+    out["fail_at"] = None if spec.fail_at is None else tuple(spec.fail_at)
+    return out
+
+
+def _decode_spec(fields) -> WorkerSpec:
+    if not isinstance(fields, dict):
+        raise WireError("worker spec payload must be a dict")
+    try:
+        segments = {
+            key: SegmentSpec(name=seg["name"], shape=tuple(seg["shape"]),
+                             dtype=seg["dtype"])
+            for key, seg in fields["segments"].items()
+        }
+        fail_at = fields["fail_at"]
+        return WorkerSpec(
+            fanouts=tuple(fields["fanouts"]),
+            segments=segments,
+            fail_at=None if fail_at is None else
+            (int(fail_at[0]), int(fail_at[1])),
+            **{name: fields[name]
+               for name in _SPEC_SCALAR_FIELDS + _SPEC_ARRAY_FIELDS},
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise WireError(f"malformed worker spec: {exc}") from None
+
+
+def _cluster_fingerprint(specs: List[WorkerSpec]) -> str:
+    """Content hash identifying a worker cluster's full configuration.
+
+    Two backends whose spec lists hash equal would bind byte-identical
+    runtimes, so their workers are interchangeable — the warm pool's key.
+    Segment *names* are excluded (random per backend; contents are re-
+    attached at bind time); segment shapes/dtypes, every seed, every id
+    array, and every hyperparameter are included.
+    """
+    h = hashlib.sha256()
+    for spec in specs:
+        enc = _encode_spec(spec)
+        for key in sorted(enc):
+            val = enc[key]
+            h.update(key.encode("utf8"))
+            if key == "segments":
+                for skey in sorted(val):
+                    seg = val[skey]
+                    h.update(
+                        f"{skey}:{seg['shape']}:{seg['dtype']};".encode("utf8"))
+            elif isinstance(val, np.ndarray):
+                h.update(f"{val.dtype}:{val.shape}:".encode("utf8"))
+                h.update(np.ascontiguousarray(val).tobytes())
+            else:
+                h.update(repr(val).encode("utf8"))
+    return h.hexdigest()
 
 
 class _PartMap:
@@ -246,6 +349,41 @@ def _decode_events(raw: list):
             for stage, machine, step, volumes in raw]
 
 
+def _plan_digest(plan: FetchPlan, owner_of, num_machines: int,
+                 fresh: Optional[np.ndarray] = None) -> np.ndarray:
+    """One audit-digest row for a fetch plan, computed *from the plan*.
+
+    ``[total, gpu, cpu, cached, remote, coalesced]`` followed by the
+    per-peer remote row counts.  ``fresh`` (a coalesced window's
+    first-request mask) splits the plan's remote ids into genuinely remote
+    vs coalesced, matching how ``execute_coalesced`` attributes them.  The
+    coordinator compares these rows against the reported
+    :class:`GatherStats`, replacing the old full-plan wire echo.
+    """
+    if fresh is None:
+        remote_ids = plan.remote_ids
+        coalesced = 0
+    else:
+        remote_ids = plan.remote_ids[fresh]
+        coalesced = int(len(plan.remote_ids) - len(remote_ids))
+    if len(remote_ids):
+        per_peer = np.bincount(owner_of(remote_ids), minlength=num_machines)
+    else:
+        per_peer = np.zeros(num_machines, dtype=np.int64)
+    head = np.array([len(plan.ids), plan.gpu_rows, plan.cpu_rows,
+                     len(plan.cached_ids), len(remote_ids), coalesced],
+                    dtype=np.int64)
+    return np.concatenate([head, per_peer.astype(np.int64, copy=False)])
+
+
+def _stats_digest(g: GatherStats) -> np.ndarray:
+    """The digest row a :class:`GatherStats` implies (coordinator side)."""
+    head = np.array([g.total_rows, g.gpu_rows, g.cpu_rows, g.cached_rows,
+                     g.remote_rows, g.coalesced_rows], dtype=np.int64)
+    return np.concatenate([
+        head, np.asarray(g.remote_per_peer, dtype=np.int64).ravel()])
+
+
 # ----------------------------------------------------------------------
 # shared-memory plumbing
 # ----------------------------------------------------------------------
@@ -267,8 +405,8 @@ def _create_segment(name: str, arr: np.ndarray):
     return shm, spec
 
 
-def _attach_segment(spec: SegmentSpec):
-    """Attach one segment read-only; returns ``(SharedMemory, view)``.
+def _attach_shm(name: str):
+    """Attach an existing segment without resource-tracker registration.
 
     On Python < 3.13 attaching registers the segment with the resource
     tracker, which the coordinator's later ``unlink`` would then
@@ -281,9 +419,14 @@ def _attach_segment(spec: SegmentSpec):
     orig_register = resource_tracker.register
     resource_tracker.register = lambda *a, **k: None
     try:
-        shm = shared_memory.SharedMemory(name=spec.name)
+        return shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = orig_register
+
+
+def _attach_segment(spec: SegmentSpec):
+    """Attach one segment read-only; returns ``(SharedMemory, view)``."""
+    shm = _attach_shm(spec.name)
     view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
     view.flags.writeable = False
     return shm, view
@@ -297,6 +440,7 @@ class _WorkerRuntime:
     """One machine's runtime inside its worker process."""
 
     def __init__(self, spec: WorkerSpec, conn):
+        import repro.pipeline.events  # noqa: F401 — warm run_epoch's lazy import
         from repro.graph.csr import CSRGraph
         from repro.nn.models import build_model
         from repro.nn.optim import Adam
@@ -306,11 +450,14 @@ class _WorkerRuntime:
         self.conn = conn
         k, K = spec.machine, spec.num_machines
 
-        # Attach every segment; keep the SharedMemory objects alive for the
-        # process lifetime (views borrow their buffers).
+        # Attach every data segment; keep the SharedMemory objects alive
+        # while the runtime exists (views borrow their buffers).  The
+        # gradient plane attaches writable, below.
         self._shms = []
         views = {}
         for key, seg in spec.segments.items():
+            if key == "grads":
+                continue
             shm, view = _attach_segment(seg)
             self._shms.append(shm)
             views[key] = view
@@ -364,22 +511,49 @@ class _WorkerRuntime:
         self.arena = GatherArena()
         self.dims = (dim, spec.hidden_dim, spec.num_classes)
 
+        # Gradient plane: this worker's slab (write) + the averaged slab
+        # (read).  Both sides derive the layout from named_parameters()
+        # order; the segment size check catches any disagreement.
+        self.grad_plane = None
+        self._my_slab = self._avg_slab = None
+        grads_seg = spec.segments.get("grads")
+        if grads_seg is not None:
+            params = [p.data for _n, p in self.model.named_parameters()]
+            layout = SlabLayout.from_templates(params)
+            shm = _attach_shm(grads_seg.name)
+            self._shms.append(shm)
+            self.grad_plane = GradientPlane(shm.buf, K, layout)
+            self._my_slab = self.grad_plane.worker_slabs[k]
+            self._avg_slab = self.grad_plane.avg_slab
+            self._avg_bufs = [np.empty_like(p) for p in params]
+
+    def release(self) -> None:
+        """Drop every view into shared memory and close the attachments —
+        required before this process can be parked (the coordinator will
+        unlink the segments) or rebound to a new cluster."""
+        if self.grad_plane is not None:
+            self.grad_plane.release()
+            self.grad_plane = None
+        self._my_slab = self._avg_slab = None
+        self.labels = self.graph = self.store = None
+        self.sampler = self.model = self.optimizer = None
+        self.degrees = self.arena = None
+        import gc
+
+        gc.collect()
+        for shm in self._shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._shms = []
+
     # -- protocol ------------------------------------------------------
     def send(self, kind: str, payload) -> None:
         self.conn.send_bytes(pack_message(kind, payload))
 
     def recv(self) -> Tuple[str, object]:
         return unpack_message(self.conn.recv_bytes())
-
-    def serve(self) -> None:
-        self.send("ready", {"machine": self.spec.machine, "pid": os.getpid()})
-        while True:
-            kind, payload = self.recv()
-            if kind == "stop":
-                return
-            if kind != "run":
-                raise RuntimeError(f"unexpected coordinator message {kind!r}")
-            self.run_epoch(payload["epoch"], payload["dry_run"])
 
     # -- training ------------------------------------------------------
     def _batches(self, epoch: int):
@@ -407,11 +581,22 @@ class _WorkerRuntime:
     def _grads(self) -> list:
         return [p.grad for _name, p in self.model.named_parameters()]
 
-    def _apply_avg(self, grads: list) -> None:
+    def _sync_step(self, step: int) -> None:
+        """Publish this step's gradients, wait for the averaged slab, and
+        step the optimizer — the token-only replacement for shipping
+        gradient arrays both ways."""
+        self._my_slab.write(self._grads(), step)
+        self.send("step" if self.spec.engine == "bsp" else "wstep",
+                  {"step": step})
+        kind, payload = self.recv()
+        if kind != "avg":
+            raise RuntimeError(f"expected avg, got {kind!r}")
+        if payload["step"] != step:
+            raise RuntimeError(
+                f"avg token for step {payload['step']}, expected {step}")
+        self._avg_slab.read_into(self._avg_bufs, step)
         params = [p for _name, p in self.model.named_parameters()]
-        if len(grads) != len(params):
-            raise RuntimeError("gradient count mismatch from coordinator")
-        for p, g in zip(params, grads):
+        for p, g in zip(params, self._avg_bufs):
             p.grad = g
         self.optimizer.step()
 
@@ -426,6 +611,9 @@ class _WorkerRuntime:
         spec = self.spec
         k = spec.machine
         events = _EventSink()
+        records: List[StepRecord] = []
+        digests: List[np.ndarray] = []
+        owner_of = self.store.reordered.owner_of
         if spec.engine == "bsp":
             iterator = self._batches(epoch)
             for step in range(spec.steps_per_epoch):
@@ -433,43 +621,47 @@ class _WorkerRuntime:
                 plan = self.store.plan_gather(k, mfg.n_id)
                 feats, stats = self.store.execute(
                     plan, out=self.arena.out((k, 0), len(mfg.n_id),
-                                             spec.feature_dim, feats_dtype(self)),
+                                             spec.feature_dim,
+                                             feats_dtype(self)),
                 )
                 self._maybe_fail(epoch, step, step + 1)
-                loss = grads = None
+                loss = None
                 if not dry_run:
                     loss = train_batch(self.model, feats, mfg,
                                        self.labels[mfg.seeds])
-                    grads = self._grads()
                 rec = self._make_record(step, mfg, stats, loss)
+                records.append(rec)
+                digests.append(_plan_digest(plan, owner_of, spec.num_machines))
                 emit_step_events(events, rec, 0, self.dims, window_start=step)
-                self.send("step", {
-                    "step": step,
-                    "record": _encode_record(rec),
-                    "plan": encode_fetch_plan(plan),
-                    "grads": grads,
-                })
-                if not dry_run:
-                    kind, payload = self.recv()
-                    if kind != "avg":
-                        raise RuntimeError(f"expected avg, got {kind!r}")
-                    self._apply_avg(payload["grads"])
+                if dry_run:
+                    self.send("step", {"step": step})
+                else:
+                    self._sync_step(step)
         elif spec.engine == "pipelined":
-            self._run_pipelined_epoch(epoch, dry_run, events)
+            self._run_pipelined_epoch(epoch, dry_run, events, records, digests)
         else:  # pragma: no cover - validated coordinator-side
             raise RuntimeError(f"unsupported engine {spec.engine!r}")
 
         state = None
         if not dry_run:
             state = dict(self.model.state_dict())
-        self.send("done", {"events": _encode_events(events.events),
-                           "state": state})
+        digest_mat = (np.stack(digests) if digests else
+                      np.zeros((0, DIGEST_HEAD + spec.num_machines),
+                               dtype=np.int64))
+        self.send("done", {
+            "records": [_encode_record(r) for r in records],
+            "digests": digest_mat,
+            "events": _encode_events(events.events),
+            "state": state,
+        })
 
-    def _run_pipelined_epoch(self, epoch: int, dry_run: bool, events) -> None:
+    def _run_pipelined_epoch(self, epoch: int, dry_run: bool, events,
+                             records: list, digests: list) -> None:
         from repro.pipeline.events import emit_step_events
 
         spec = self.spec
         k = spec.machine
+        owner_of = self.store.reordered.owner_of
         steps, depth = spec.steps_per_epoch, spec.pipeline_depth
         prefetcher = PrefetchIterator(self._batches(epoch), depth)
         for w0 in range(0, steps, depth):
@@ -492,23 +684,19 @@ class _WorkerRuntime:
             self._maybe_fail(epoch, w0, w1)
             recs = [self._make_record(s, mfgs[i], results[i][1], None)
                     for i, s in enumerate(range(w0, w1))]
+            records.extend(recs)
+            digests.extend(
+                _plan_digest(plan, owner_of, spec.num_machines, fresh=fresh)
+                for plan, fresh in zip(cplan.plans, cplan.first_request))
             for rec in recs:
                 emit_step_events(events, rec, 0, self.dims, window_start=w0)
-            self.send("window", {
-                "w0": w0,
-                "records": [_encode_record(r) for r in recs],
-                "cplan": encode_coalesced_plan(cplan),
-            })
+            self.send("window", {"w0": w0})
             if not dry_run:
                 for i, s in enumerate(range(w0, w1)):
                     loss = train_batch(self.model, results[i][0], mfgs[i],
                                        self.labels[mfgs[i].seeds])
-                    self.send("wstep", {"step": s, "loss": loss,
-                                        "grads": self._grads()})
-                    kind, payload = self.recv()
-                    if kind != "avg":
-                        raise RuntimeError(f"expected avg, got {kind!r}")
-                    self._apply_avg(payload["grads"])
+                    recs[i].loss = loss
+                    self._sync_step(s)
 
 
 class _EventSink:
@@ -530,18 +718,52 @@ def feats_dtype(runtime: _WorkerRuntime) -> np.dtype:
     return runtime.store.stores[runtime.spec.machine].local_features.dtype
 
 
-def _worker_main(spec: WorkerSpec, conn) -> None:
-    """Worker process entry point (must be module-level for spawn)."""
+def _worker_main(conn) -> None:
+    """Worker process entry point (must be module-level for spawn).
+
+    Generic: the process is spawned bare, announces ``ready``, and builds
+    its runtime only when the coordinator ``bind``\\ s a :class:`WorkerSpec`
+    over the pipe — which is also how a parked warm-pool worker is rebound
+    by a later backend.  ``park`` releases every shared-memory view and
+    returns the process to the idle loop.
+    """
+    runtime = None
     try:
-        runtime = _WorkerRuntime(spec, conn)
-        runtime.serve()
+        conn.send_bytes(pack_message("ready", {"pid": os.getpid()}))
+        while True:
+            kind, payload = unpack_message(conn.recv_bytes())
+            if kind == "stop":
+                if runtime is not None:
+                    # Drop every shared-memory view before a normal exit,
+                    # or SharedMemory.__del__ hits BufferError at teardown.
+                    runtime.release()
+                    runtime = None
+                return
+            elif kind == "bind":
+                if runtime is not None:
+                    runtime.release()
+                    runtime = None
+                runtime = _WorkerRuntime(_decode_spec(payload), conn)
+                conn.send_bytes(pack_message(
+                    "bound", {"machine": runtime.spec.machine}))
+            elif kind == "park":
+                if runtime is not None:
+                    runtime.release()
+                    runtime = None
+                conn.send_bytes(pack_message("parked", {"pid": os.getpid()}))
+            elif kind == "run":
+                if runtime is None:
+                    raise RuntimeError("run received before bind")
+                runtime.run_epoch(payload["epoch"], payload["dry_run"])
+            else:
+                raise RuntimeError(f"unexpected coordinator message {kind!r}")
     except (EOFError, BrokenPipeError, OSError):
         # The coordinator went away; nothing to report to.
         os._exit(1)
     except Exception:
         try:
             conn.send_bytes(pack_message("error", {
-                "machine": spec.machine,
+                "machine": None if runtime is None else runtime.spec.machine,
                 "traceback": traceback.format_exc(),
             }))
         except Exception:
@@ -552,6 +774,84 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
             conn.close()
         except Exception:
             pass
+
+
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+
+class WorkerPool:
+    """Parked warm worker clusters, keyed by cluster fingerprint.
+
+    A parked worker is a live, idle process holding no shared-memory
+    attachments — just the imported interpreter (the expensive part of a
+    spawn).  Clusters park and acquire as a unit: machine ``k``'s pipe
+    stays machine ``k``'s pipe.  Dead clusters found at acquire time are
+    disposed of; :meth:`clear` (also registered ``atexit``) stops
+    everything politely, then escalates.
+    """
+
+    def __init__(self):
+        self._clusters: Dict[str, List[list]] = {}
+
+    @property
+    def num_parked(self) -> int:
+        """Total parked worker processes across all fingerprints."""
+        return sum(len(workers) for stack in self._clusters.values()
+                   for workers in stack)
+
+    def park(self, key: str, workers: list) -> None:
+        self._clusters.setdefault(key, []).append(list(workers))
+
+    def acquire(self, key: str) -> Optional[list]:
+        """Pop one fully-alive parked cluster for ``key``, or ``None``."""
+        stack = self._clusters.get(key)
+        while stack:
+            workers = stack.pop()
+            if not stack:
+                self._clusters.pop(key, None)
+            if all(proc.is_alive() for proc, _conn in workers):
+                return workers
+            self._dispose(workers)
+        self._clusters.pop(key, None)
+        return None
+
+    def clear(self) -> None:
+        for stack in self._clusters.values():
+            for workers in stack:
+                self._dispose(workers)
+        self._clusters.clear()
+
+    @staticmethod
+    def _dispose(workers: list) -> None:
+        for _proc, conn in workers:
+            try:
+                conn.send_bytes(pack_message("stop", None))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc, conn in workers:
+            try:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:
+                pass
+            for escalate in ("terminate", "kill"):
+                if not proc.is_alive():
+                    break
+                try:
+                    getattr(proc, escalate)()
+                    proc.join(timeout=5.0)
+                except Exception:
+                    pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+
+#: The process-wide warm pool (see :class:`WorkerPool`); cleared atexit.
+WORKER_POOL = WorkerPool()
+atexit.register(WORKER_POOL.clear)
 
 
 # ----------------------------------------------------------------------
@@ -566,8 +866,8 @@ def _spawn_safe_main():
     with code fed via stdin (``python -``, heredocs) the recorded path is
     the pseudo-file ``"<stdin>"`` and the child dies in ``runpy`` before
     reaching the worker target.  Our workers are self-contained (the target
-    is this module's :func:`_worker_main`, the state a picklable spec), so
-    when the main module's file does not actually exist we drop its
+    is this module's :func:`_worker_main`, the state a wire-encoded spec),
+    so when the main module's file does not actually exist we drop its
     ``__file__`` for the duration of the spawn — ``get_preparation_data``
     then skips the main-module fixup entirely.
     """
@@ -590,11 +890,11 @@ class MultiprocBackend(ClusterBackend):
     """Coordinator for K worker processes over shared-memory segments.
 
     Built lazily: the first :meth:`run_epoch` creates the segments and
-    spawns the workers; they persist across epochs (sampler and optimizer
-    state live worker-side, exactly as the in-process trainer's persists
-    across epochs).  After a non-dry epoch the synchronized model weights
-    are loaded back into the system's in-process replicas, so
-    ``system.evaluate()`` sees the trained model.
+    spawns (or acquires from :data:`WORKER_POOL`) the workers; they persist
+    across epochs (sampler and optimizer state live worker-side, exactly
+    as the in-process trainer's persists across epochs).  After a non-dry
+    epoch the synchronized model weights are loaded back into the system's
+    in-process replicas, so ``system.evaluate()`` sees the trained model.
 
     Parameters
     ----------
@@ -603,14 +903,26 @@ class MultiprocBackend(ClusterBackend):
         ``pipelined`` engine, static caches, partitioned storage).
     timeout_s:
         Per-message coordinator patience before declaring a worker hung.
+    keep_warm:
+        Park the workers into the module-level :data:`WORKER_POOL` on clean
+        close instead of stopping them, so the next backend with the same
+        cluster fingerprint skips the spawn cost.  Off by default — with it
+        off, ``close()`` leaves every worker process dead (the teardown
+        contract the fault suite asserts).  Mutable attribute; fault-
+        injected or mid-epoch clusters are never parked regardless.
     fault_injection:
         Test hook: ``{machine: (epoch, step)}`` hard-kills the machine's
         worker mid-epoch at that point.
+
+    Wire accounting: :attr:`wire_sent` / :attr:`wire_received` map message
+    kind to ``[message_count, total_bytes]`` — the regression test for
+    "pipes carry control tokens only" reads these.
     """
 
     name = "multiproc"
 
     def __init__(self, system, *, timeout_s: float = 120.0,
+                 keep_warm: bool = False,
                  fault_injection: Optional[Dict[int, Tuple[int, int]]] = None):
         super().__init__(system)
         store = system.trainer.store
@@ -631,15 +943,29 @@ class MultiprocBackend(ClusterBackend):
                 "replication would copy the whole feature matrix per segment"
             )
         self.timeout_s = float(timeout_s)
+        self.keep_warm = bool(keep_warm)
         self.fault_injection = dict(fault_injection or {})
         self._started = False
+        self._closing = False
+        self._idle = True
         self._procs: List = []
         self._conns: List = []
         self._segments: List = []
+        self._holders: List = []
+        self._inboxes: List[deque] = []
+        self._conn_open: List[bool] = []
+        self._grad_plane: Optional[GradientPlane] = None
+        self._pool_key: Optional[str] = None
         self.segment_names: List[str] = []
         #: Per-machine specs shipped to the workers (set by start()) —
         #: inspectable so tests can assert the derived seed contract.
         self.worker_specs: List[WorkerSpec] = []
+        #: True when start() rebound a parked warm-pool cluster instead of
+        #: spawning fresh processes.
+        self.reused_pool = False
+        #: kind -> [message_count, total_bytes] for each pipe direction.
+        self.wire_sent: Dict[str, List[int]] = {}
+        self.wire_received: Dict[str, List[int]] = {}
         self._finalizer = None
 
     # -- lifecycle -----------------------------------------------------
@@ -654,7 +980,7 @@ class MultiprocBackend(ClusterBackend):
         return list(self._procs)
 
     def start(self) -> None:
-        """Create segments, spawn workers, wait for the ready handshake."""
+        """Create segments, spawn or acquire workers, bind their specs."""
         if self._started:
             return
         tr = self.system.trainer
@@ -674,6 +1000,23 @@ class MultiprocBackend(ClusterBackend):
                 self._segments.append(shm)
                 self.segment_names.append(seg.name)
                 specs[key] = seg
+
+            # The gradient plane: K worker slabs + the averaged slab, laid
+            # out from the coordinator replica's parameter order (workers
+            # re-derive the same layout and verify by size).
+            layout = SlabLayout.from_templates(
+                [p.data for _n, p in tr.models[0].named_parameters()])
+            plane_shm = shared_memory.SharedMemory(
+                create=True, name=f"{prefix}grads",
+                size=max(layout.plane_nbytes(K), 1))
+            self._segments.append(plane_shm)
+            self.segment_names.append(plane_shm.name)
+            specs["grads"] = SegmentSpec(
+                name=plane_shm.name, shape=(layout.plane_nbytes(K),),
+                dtype="|u1")
+            self._grad_plane = GradientPlane(plane_shm.buf, K, layout)
+            self._grad_plane.reset()
+            self._holders.append(self._grad_plane)
 
             cfg = self.system.config
             for k in range(K):
@@ -705,25 +1048,47 @@ class MultiprocBackend(ClusterBackend):
                     fail_at=self.fault_injection.get(k),
                 )
                 self.worker_specs.append(spec)
-                parent, child = ctx.Pipe(duplex=True)
-                proc = ctx.Process(target=_worker_main, args=(spec, child),
-                                   daemon=True, name=f"repro-mp-worker-{k}")
-                with _spawn_safe_main():
-                    proc.start()
-                child.close()
-                self._procs.append(proc)
-                self._conns.append(parent)
+            self._pool_key = _cluster_fingerprint(self.worker_specs)
 
+            pooled = WORKER_POOL.acquire(self._pool_key)
+            self.reused_pool = pooled is not None
+            if pooled is not None:
+                for proc, conn in pooled:
+                    self._procs.append(proc)
+                    self._conns.append(conn)
+            else:
+                for k in range(K):
+                    parent, child = ctx.Pipe(duplex=True)
+                    proc = ctx.Process(target=_worker_main, args=(child,),
+                                       daemon=True,
+                                       name=f"repro-mp-worker-{k}")
+                    with _spawn_safe_main():
+                        proc.start()
+                    child.close()
+                    self._procs.append(proc)
+                    self._conns.append(parent)
+
+            self._inboxes = [deque() for _ in range(K)]
+            self._conn_open = [True] * K
             self._started = True
             self._finalizer = weakref.finalize(
                 self, MultiprocBackend._cleanup,
-                self._procs, self._conns, self._segments,
+                self._procs, self._conns, self._segments, self._holders,
             )
             deadline = time.monotonic() + _READY_TIMEOUT_S
+            if not self.reused_pool:
+                for k in range(K):
+                    kind, _payload = self._recv(k, deadline=deadline)
+                    if kind != "ready":
+                        self._fail(k, f"expected ready handshake, got {kind!r}")
             for k in range(K):
-                kind, _payload = self._recv(k, deadline=deadline)
-                if kind != "ready":
-                    self._fail(k, f"expected ready handshake, got {kind!r}")
+                self._send(k, "bind", _encode_spec(self.worker_specs[k]))
+            for k in range(K):
+                kind, payload = self._recv(k, deadline=deadline)
+                if kind != "bound":
+                    self._fail(k, f"expected bound handshake, got {kind!r}")
+                if not isinstance(payload, dict) or payload.get("machine") != k:
+                    self._fail(k, "bound handshake reported the wrong machine")
         except WorkerFailedError:
             raise
         except Exception:
@@ -732,18 +1097,56 @@ class MultiprocBackend(ClusterBackend):
             raise
 
     def close(self) -> None:
-        """Stop workers and release every runtime resource; idempotent."""
+        """Stop (or park, with :attr:`keep_warm`) the workers and release
+        every runtime resource; idempotent."""
+        if not self._closing:
+            self._closing = True
+            if (self.keep_warm and not self.fault_injection
+                    and self._idle and self.is_live):
+                try:
+                    self._park_to_pool()
+                except Exception:
+                    pass
         if self._finalizer is not None:
             self._finalizer()  # runs _cleanup at most once
         elif self._segments:
             # start() failed before the finalizer existed.
-            MultiprocBackend._cleanup(self._procs, self._conns, self._segments)
+            MultiprocBackend._cleanup(self._procs, self._conns,
+                                      self._segments, self._holders)
+
+    def _park_to_pool(self) -> bool:
+        """Hand the quiescent workers to :data:`WORKER_POOL`.
+
+        On success the proc/conn lists are emptied in place, so the
+        finalizer's teardown skips them and only unlinks segments.  Any
+        protocol hiccup aborts parking and falls back to full teardown.
+        """
+        if not self._procs or self._pool_key is None:
+            return False
+        K = len(self._procs)
+        try:
+            for k in range(K):
+                self._send(k, "park", None)
+            deadline = time.monotonic() + _PARK_TIMEOUT_S
+            for k in range(K):
+                kind, _payload = self._recv(k, deadline=deadline)
+                if kind != "parked" or self._inboxes[k]:
+                    return False
+        except WorkerFailedError:
+            return False  # _fail already tore the cluster down
+        WORKER_POOL.park(self._pool_key, list(zip(self._procs, self._conns)))
+        self._procs.clear()
+        self._conns.clear()
+        self._inboxes = []
+        self._conn_open = []
+        return True
 
     @staticmethod
-    def _cleanup(procs, conns, segments) -> None:
+    def _cleanup(procs, conns, segments, holders) -> None:
         """Full teardown: polite stop, escalate to terminate/kill, close
-        pipes, unlink segments.  Static + in-place so the ``weakref``
-        finalizer can run it without resurrecting the backend."""
+        pipes, drop shared-memory views, unlink segments.  Static +
+        in-place so the ``weakref`` finalizer can run it without
+        resurrecting the backend."""
         for conn in conns:
             try:
                 conn.send_bytes(pack_message("stop", None))
@@ -772,6 +1175,12 @@ class MultiprocBackend(ClusterBackend):
             except Exception:
                 pass
         conns.clear()
+        for holder in holders:
+            try:
+                holder.release()
+            except Exception:
+                pass
+        holders.clear()
         for shm in segments:
             try:
                 shm.close()
@@ -790,7 +1199,14 @@ class MultiprocBackend(ClusterBackend):
         return self._started and not self.is_live
 
     # -- wire helpers --------------------------------------------------
+    @staticmethod
+    def _count(table: Dict[str, List[int]], kind: str, nbytes: int) -> None:
+        entry = table.setdefault(kind, [0, 0])
+        entry[0] += 1
+        entry[1] += nbytes
+
     def _fail(self, machine: Optional[int], why: str) -> None:
+        self._closing = True  # a failed cluster is never parked
         self.close()
         raise WorkerFailedError(
             f"worker {machine}: {why}" if machine is not None else why,
@@ -798,46 +1214,94 @@ class MultiprocBackend(ClusterBackend):
         )
 
     def _send(self, k: int, kind: str, payload) -> None:
+        data = pack_message(kind, payload)
+        self._count(self.wire_sent, kind, len(data))
         try:
-            self._conns[k].send_bytes(pack_message(kind, payload))
+            self._conns[k].send_bytes(data)
         except (BrokenPipeError, OSError):
             self._fail(k, "pipe closed while sending")
 
-    def _recv(self, k: int, deadline: Optional[float] = None):
-        conn, proc = self._conns[k], self._procs[k]
-        if deadline is None:
-            deadline = time.monotonic() + self.timeout_s
+    def _drain(self, j: int) -> None:
+        """Pull every already-complete message off pipe ``j`` into its
+        inbox; worker errors surface immediately."""
+        conn = self._conns[j]
         while True:
             try:
-                if conn.poll(0.02):
-                    data = conn.recv_bytes()
-                    break
+                if not conn.poll(0):
+                    return
+                data = conn.recv_bytes()
             except (EOFError, OSError):
-                self._fail(k, "connection closed mid-epoch")
-            if not proc.is_alive():
-                # Drain anything the worker flushed before dying.
-                try:
-                    if conn.poll(0):
+                self._conn_open[j] = False
+                return
+            try:
+                kind, payload = unpack_message(data)
+            except WireError as exc:
+                self._fail(j, f"malformed message: {exc}")
+            self._count(self.wire_received, kind, len(data))
+            if kind == "error":
+                tb = payload.get("traceback", "") \
+                    if isinstance(payload, dict) else ""
+                self._fail(j, f"worker raised:\n{tb}")
+            self._inboxes[j].append((kind, payload))
+
+    def _pump(self, timeout: float) -> None:
+        """Block until any worker pipe (or process sentinel) is ready,
+        then drain every readable pipe — the event-driven replacement for
+        per-pipe ``poll(0.02)``: no polling granularity, and a machine-
+        order receive can't starve behind a slow worker because every
+        arriving message lands in its inbox as soon as it is readable."""
+        targets = {}
+        for j in range(len(self._conns)):
+            if self._conn_open[j]:
+                targets[self._conns[j]] = j
+                targets[self._procs[j].sentinel] = j
+        if not targets:
+            return
+        ready = mp_connection.wait(list(targets), timeout=max(timeout, 0.0))
+        for obj in ready:
+            j = targets[obj]
+            if obj is self._conns[j]:
+                self._drain(j)
+            # A ready sentinel needs no action here: _recv notices the
+            # dead process right after this pump returns.
+
+    def _recv(self, k: int, deadline: Optional[float] = None):
+        if deadline is None:
+            deadline = time.monotonic() + self.timeout_s
+        inbox = self._inboxes[k]
+        while not inbox:
+            self._pump(min(1.0, max(deadline - time.monotonic(), 0.0)))
+            if inbox:
+                break
+            # Fail fast on any dead worker: the lock-step protocol cannot
+            # make progress without it, and waiting for machine k while
+            # machine j is gone would only time out later.
+            for j in range(len(self._procs)):
+                if self._inboxes[j]:
+                    continue
+                if not self._procs[j].is_alive():
+                    self._drain(j)  # its last flush may still be buffered
+                    if self._inboxes[j]:
                         continue
-                except (EOFError, OSError):
-                    pass
-                self._fail(k, f"process died (exit code {proc.exitcode})")
+                    self._fail(j, "process died "
+                                  f"(exit code {self._procs[j].exitcode})")
+                if not self._conn_open[j] and j == k:
+                    self._fail(k, "connection closed mid-epoch")
             if time.monotonic() > deadline:
                 self._fail(k, f"no message within {self.timeout_s:.0f}s")
-        try:
-            kind, payload = unpack_message(data)
-        except WireError as exc:
-            self._fail(k, f"malformed message: {exc}")
-        if kind == "error":
-            tb = payload.get("traceback", "") if isinstance(payload, dict) else ""
-            self._fail(k, f"worker raised:\n{tb}")
-        return kind, payload
+        return inbox.popleft()
 
     def _expect(self, k: int, want: str):
         kind, payload = self._recv(k)
         if kind != want:
             self._fail(k, f"expected {want!r} message, got {kind!r}")
         return payload
+
+    def _expect_token(self, k: int, want: str, field: str, value: int) -> None:
+        payload = self._expect(k, want)
+        if not isinstance(payload, dict) or payload.get(field) != value:
+            self._fail(k, f"expected {want} token for {field} {value}, "
+                          f"got {payload!r}")
 
     def _ledger_fetch(self, ledger: CommLedger, machine: int, stats) -> None:
         """Byte accounting identical to ``ExecutionEngine._record_fetch``."""
@@ -847,84 +1311,68 @@ class MultiprocBackend(ClusterBackend):
             ledger.record_feature_fetch(machine, stats.refresh_fetch_per_peer,
                                         bpr)
 
-    # -- plan audits ---------------------------------------------------
-    def _audit_plan(self, plan: FetchPlan, rec: StepRecord, k: int,
-                    step: int) -> None:
-        """Cross-check a worker's wire plan against its reported stats."""
-        g = rec.gather
-        reordered = self.system.trainer.reordered
-        K = self.system.trainer.num_machines
-        ok = (plan.machine == k == rec.machine and rec.step == step
-              and len(plan.ids) == g.total_rows
-              and len(plan.cached_ids) == g.cached_rows
-              and plan.gpu_rows == g.gpu_rows
-              and plan.cpu_rows == g.cpu_rows)
-        if ok:
-            if g.coalesced_rows:
-                ok = len(plan.remote_ids) == g.remote_rows + g.coalesced_rows
-            else:
-                ok = len(plan.remote_ids) == g.remote_rows
-                counts = np.bincount(reordered.owner_of(plan.remote_ids),
-                                     minlength=K) if len(plan.remote_ids) \
-                    else np.zeros(K, dtype=np.int64)
-                ok = ok and np.array_equal(counts, g.remote_per_peer)
-        if not ok:
-            self._fail(k, f"step {step}: fetch plan disagrees with "
-                          f"reported gather stats")
+    # -- gradient plane ------------------------------------------------
+    def _average_step(self, step: int, ledger: CommLedger,
+                      grad_bytes: int) -> None:
+        """Average the worker slabs for ``step`` in place, publish the
+        result, and release the barrier with per-worker ``avg`` tokens."""
+        K = len(self._procs)
+        try:
+            self._grad_plane.average(step)
+        except SlabStateError as exc:
+            self._fail(exc.machine,
+                       f"gradient-slab protocol violation at step {step}: "
+                       f"{exc}")
+        for k in range(K):
+            self._send(k, "avg", {"step": step})
+        if K > 1:
+            ledger.record_all_reduce(2.0 * (K - 1) / K * grad_bytes)
 
-    def _audit_cplan(self, cplan, recs: List[StepRecord], k: int,
-                     w0: int) -> None:
-        reordered = self.system.trainer.reordered
+    # -- audits --------------------------------------------------------
+    def _audit_digests(self, k: int, digests, records: List[StepRecord]) -> None:
+        """Cross-check a worker's plan digests against its reported stats.
+
+        The digests were computed worker-side from the fetch plans
+        themselves (ownership recomputed from the reorder offsets), so a
+        worker whose stats disagree with what its plans imply fails here —
+        the batched replacement for auditing full wire-encoded plans."""
         K = self.system.trainer.num_machines
-        if len(cplan.plans) != len(recs) or cplan.machine != k:
-            self._fail(k, f"window {w0}: coalesced plan shape mismatch")
-        for i, (rec, plan, fresh) in enumerate(
-                zip(recs, cplan.plans, cplan.first_request)):
-            self._audit_plan(plan, rec, k, w0 + i)
-            g = rec.gather
-            fresh_ids = plan.remote_ids[fresh]
-            counts = np.bincount(reordered.owner_of(fresh_ids), minlength=K) \
-                if len(fresh_ids) else np.zeros(K, dtype=np.int64)
-            if (int(fresh.sum()) != g.remote_rows
-                    or int(len(plan.remote_ids) - fresh.sum()) != g.coalesced_rows
-                    or not np.array_equal(counts, g.remote_per_peer)):
-                self._fail(k, f"window {w0} sub-plan {i}: coalesced plan "
-                              f"disagrees with reported gather stats")
+        digests = np.asarray(digests)
+        if digests.shape != (len(records), DIGEST_HEAD + K) \
+                or digests.dtype != np.int64:
+            self._fail(k, f"plan digest matrix has shape {digests.shape} "
+                          f"({digests.dtype}), expected "
+                          f"({len(records)}, {DIGEST_HEAD + K}) int64")
+        for s, rec in enumerate(records):
+            if rec.machine != k or rec.step != s:
+                self._fail(k, f"record {s} reports machine {rec.machine} "
+                              f"step {rec.step}")
+            if not np.array_equal(digests[s], _stats_digest(rec.gather)):
+                self._fail(k, f"step {s}: fetch-plan digest disagrees with "
+                              f"reported gather stats")
 
     # -- epochs --------------------------------------------------------
     def run_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
         if self._started and not self.is_live:
             raise RuntimeError("multiproc backend is closed")
         self.start()
+        self._idle = False
         try:
             if self.system.config.engine == "bsp":
-                return self._run_bsp(epoch, dry_run)
-            return self._run_pipelined(epoch, dry_run)
+                report = self._run_bsp(epoch, dry_run)
+            else:
+                report = self._run_pipelined(epoch, dry_run)
         except WorkerFailedError:
             raise
         except Exception:
             self.close()
             raise
+        self._idle = True
+        return report
 
     def _broadcast_run(self, epoch: int, dry_run: bool) -> None:
         for k in range(self.system.trainer.num_machines):
             self._send(k, "run", {"epoch": epoch, "dry_run": dry_run})
-
-    def _average_and_reply(self, grads_per_machine: List[list],
-                           ledger: CommLedger) -> None:
-        tr = self.system.trainer
-        templates = [p.data for _n, p in tr.models[0].named_parameters()]
-        for k, grads in enumerate(grads_per_machine):
-            if grads is None or len(grads) != len(templates):
-                self._fail(k, "gradient payload shape mismatch")
-        averaged = average_gradient_arrays(grads_per_machine, templates)
-        for k in range(len(grads_per_machine)):
-            self._send(k, "avg", {"grads": averaged})
-        if len(grads_per_machine) > 1:
-            ledger.record_all_reduce(
-                2.0 * (len(grads_per_machine) - 1) / len(grads_per_machine)
-                * gradient_nbytes(tr.models[0])
-            )
 
     def _finish_report(self, epoch, records, ledger, losses, steps, trace,
                        states) -> EpochReport:
@@ -955,32 +1403,34 @@ class MultiprocBackend(ClusterBackend):
         tr = self.system.trainer
         K = tr.num_machines
         steps = tr.steps_per_epoch()
+        grad_bytes = gradient_nbytes(tr.models[0])
         ledger = CommLedger(K)
-        records: List[StepRecord] = []
-        losses: List[float] = []
+        self._broadcast_run(epoch, dry_run)
+        for step in range(steps):
+            for k in range(K):
+                self._expect_token(k, "step", "step", step)
+            if not dry_run:
+                self._average_step(step, ledger, grad_bytes)
+        per_worker = self._collect_done(steps)
+
+        # Epoch-end assembly, interleaved exactly as the in-process engine
+        # ordered it: records, ledger fetches, and losses in (step,
+        # machine) order; comm + allreduce trace events per step; the
+        # workers' own step events merged at the end.
         trace = EventTrace(
             engine="bsp", num_machines=K, num_steps=steps,
             windows=[(s, s + 1) for s in range(steps)],
             allreduce_steps=list(range(steps)),
         )
-        self._broadcast_run(epoch, dry_run)
+        records: List[StepRecord] = []
+        losses: List[float] = []
         for step in range(steps):
-            step_records: List[StepRecord] = []
-            grads_per_machine: List[list] = []
-            for k in range(K):
-                payload = self._expect(k, "step")
-                try:
-                    rec = _decode_record(payload["record"])
-                    plan = decode_fetch_plan(payload["plan"])
-                except (WireError, KeyError, TypeError) as exc:
-                    self._fail(k, f"undecodable step payload: {exc}")
-                self._audit_plan(plan, rec, k, step)
+            row = [per_worker[k]["records"][step] for k in range(K)]
+            for k, rec in enumerate(row):
                 records.append(rec)
-                step_records.append(rec)
                 self._ledger_fetch(ledger, k, rec.gather)
-                grads_per_machine.append(payload["grads"])
-            served = served_rows_matrix(step_records, K)
-            for k, rec in enumerate(step_records):
+            served = served_rows_matrix(row, K)
+            for k, rec in enumerate(row):
                 emit_window_comm_events(
                     trace, step, k,
                     rec.gather.remote_rows + rec.gather.refresh_fetch_rows,
@@ -988,9 +1438,10 @@ class MultiprocBackend(ClusterBackend):
                 )
             trace.add(Stage.ALLREDUCE, -1, step)
             if not dry_run:
-                self._average_and_reply(grads_per_machine, ledger)
-                losses.extend(rec.loss for rec in step_records)
-        states = self._collect_done(trace, dry_run)
+                losses.extend(rec.loss for rec in row)
+        for pw in per_worker:
+            trace.events.extend(pw["events"])
+        states = [pw["state"] for pw in per_worker if pw["state"] is not None]
         return self._finish_report(epoch, records, ledger, losses, steps,
                                    trace, states)
 
@@ -1007,46 +1458,43 @@ class MultiprocBackend(ClusterBackend):
         steps = tr.steps_per_epoch()
         depth = int(self.system.config.pipeline_depth)
         windows = [(w, min(w + depth, steps)) for w in range(0, steps, depth)]
+        grad_bytes = gradient_nbytes(tr.models[0])
         ledger = CommLedger(K)
-        records: List[StepRecord] = []
-        losses: List[float] = []
+        self._broadcast_run(epoch, dry_run)
+        for w0, w1 in windows:
+            for k in range(K):
+                self._expect_token(k, "window", "w0", w0)
+            if not dry_run:
+                for s in range(w0, w1):
+                    for k in range(K):
+                        self._expect_token(k, "wstep", "step", s)
+                    self._average_step(s, ledger, grad_bytes)
+        per_worker = self._collect_done(steps)
+
         trace = EventTrace(
             engine="pipelined", num_machines=K, num_steps=steps,
             windows=windows, allreduce_steps=list(range(steps)),
         )
-        self._broadcast_run(epoch, dry_run)
+        records: List[StepRecord] = []
+        losses: List[float] = []
         for w0, w1 in windows:
-            width = w1 - w0
-            window_recs: List[List[StepRecord]] = []
-            for k in range(K):
-                payload = self._expect(k, "window")
-                try:
-                    recs = [_decode_record(r) for r in payload["records"]]
-                    cplan = decode_coalesced_plan(payload["cplan"])
-                except (WireError, KeyError, TypeError) as exc:
-                    self._fail(k, f"undecodable window payload: {exc}")
-                if payload["w0"] != w0 or len(recs) != width:
-                    self._fail(k, f"window {w0}: wrong window reported")
-                self._audit_cplan(cplan, recs, k, w0)
-                for rec in recs:
-                    self._ledger_fetch(ledger, k, rec.gather)
-                window_recs.append(recs)
-
-            # Records in (step, machine) order, as the in-process engine.
-            step_records: List[List[StepRecord]] = []
-            for i in range(width):
-                row = [window_recs[k][i] for k in range(K)]
+            step_rows = [[per_worker[k]["records"][s] for k in range(K)]
+                         for s in range(w0, w1)]
+            for row in step_rows:
                 records.extend(row)
-                step_records.append(row)
+            for k in range(K):
+                for s in range(w0, w1):
+                    self._ledger_fetch(
+                        ledger, k, per_worker[k]["records"][s].gather)
 
             window_served = np.zeros(K, dtype=np.int64)
-            for row in step_records:
+            for row in step_rows:
                 window_served += served_rows_matrix(row, K)
-            for i, s in enumerate(range(w0, w1)):
+            for s in range(w0, w1):
                 trace.add(Stage.ALLREDUCE, -1, s)
             for k in range(K):
-                machine_recs = [r for row in step_records for r in row
-                                if r.machine == k]
+                machine_recs = [per_worker[k]["records"][s]
+                                for s in range(w0, w1)]
                 request_rows = int(sum(
                     r.gather.remote_rows + r.gather.refresh_fetch_rows
                     for r in machine_recs
@@ -1055,33 +1503,33 @@ class MultiprocBackend(ClusterBackend):
                     trace, w0, k, request_rows, int(window_served[k]),
                     mfg_edges=int(sum(r.mfg_edges for r in machine_recs)),
                 )
-
             if not dry_run:
-                for i, s in enumerate(range(w0, w1)):
-                    grads_per_machine = []
-                    for k in range(K):
-                        payload = self._expect(k, "wstep")
-                        if payload["step"] != s:
-                            self._fail(k, f"expected wstep {s}, "
-                                          f"got {payload['step']}")
-                        step_records[i][k].loss = payload["loss"]
-                        grads_per_machine.append(payload["grads"])
-                    self._average_and_reply(grads_per_machine, ledger)
-                    losses.extend(r.loss for r in step_records[i])
-        states = self._collect_done(trace, dry_run)
+                for row in step_rows:
+                    losses.extend(rec.loss for rec in row)
+        for pw in per_worker:
+            trace.events.extend(pw["events"])
+        states = [pw["state"] for pw in per_worker if pw["state"] is not None]
         return self._finish_report(epoch, records, ledger, losses, steps,
                                    trace, states)
 
-    def _collect_done(self, trace, dry_run: bool) -> List[dict]:
-        """Receive every worker's epoch-end events (merged into the trace)
-        and, for training epochs, its synchronized model state."""
-        states = []
+    def _collect_done(self, steps: int) -> List[dict]:
+        """Receive every worker's batched epoch-end telemetry — step
+        records, plan digests (audited here), stage events, and the
+        synchronized model state for training epochs."""
+        per_worker = []
         for k in range(self.system.trainer.num_machines):
             payload = self._expect(k, "done")
             try:
-                trace.events.extend(_decode_events(payload["events"]))
-            except (WireError, KeyError, ValueError) as exc:
+                records = [_decode_record(r) for r in payload["records"]]
+                digests = payload["digests"]
+                events = _decode_events(payload["events"])
+                state = payload.get("state")
+            except (WireError, KeyError, TypeError, ValueError) as exc:
                 self._fail(k, f"undecodable done payload: {exc}")
-            if not dry_run and payload.get("state") is not None:
-                states.append(payload["state"])
-        return states
+            if len(records) != steps:
+                self._fail(k, f"reported {len(records)} step records, "
+                              f"expected {steps}")
+            self._audit_digests(k, digests, records)
+            per_worker.append({"records": records, "events": events,
+                               "state": state})
+        return per_worker

@@ -75,7 +75,8 @@ def test_clean_shutdown_leaves_nothing_behind():
     backend = MultiprocBackend(system, timeout_s=30.0)
     backend.run_epoch(0)
     assert backend.is_live
-    assert len(backend.segment_names) == 2 + 3  # feat0, feat1 + graph/labels
+    # feat0, feat1 + graph (indptr/indices) + labels + gradient plane
+    assert len(backend.segment_names) == 2 + 3 + 1
     names = list(backend.segment_names)
     backend.close()
     backend.close()  # idempotent
