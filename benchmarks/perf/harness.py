@@ -239,6 +239,10 @@ def multiproc_stages(stages: dict, *, dataset=None) -> None:
         raise AssertionError("warm restart did not reuse the parked workers")
 
     rows = sum(r.gather.total_rows for r in result2.report.records)
+    # Wire accounting comes from the second (parked) backend's cumulative
+    # tables: control tokens only, so bytes stay tiny relative to rows.
+    wire_sent_bytes = sum(b for _n, b in backend.wire_sent.values())
+    wire_received_bytes = sum(b for _n, b in backend.wire_received.values())
     stages["train.epoch_bsp_multiproc"] = _entry(
         wall2, rows=rows, dense_wall_s=dense_wall2,
         first_epoch_wall_s=round(wall, 6),
@@ -247,6 +251,10 @@ def multiproc_stages(stages: dict, *, dataset=None) -> None:
         warm_epoch_wall_s=round(warm_wall, 6),
         cores=len(os.sched_getaffinity(0)),
         workers=K,
+        wire_sent_bytes=wire_sent_bytes,
+        wire_received_bytes=wire_received_bytes,
+        warm_pool_hit=bool(reused),
+        warm_pool_miss=bool(not reused),
         mean_loss=round(result.report.mean_loss, 6), bit_identical=True)
 
 

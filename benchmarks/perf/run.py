@@ -101,7 +101,9 @@ def append_history(doc: dict, path: str) -> dict:
             stage: {
                 key: val for key, val in e.items()
                 if key in ("wall_s", "speedup_vs_dense", "dense_wall_s",
-                           "spawn_wall_s", "warm_start_wall_s", "cores")
+                           "spawn_wall_s", "warm_start_wall_s", "cores",
+                           "wire_sent_bytes", "wire_received_bytes",
+                           "warm_pool_hit", "warm_pool_miss")
                 and val is not None
             }
             for stage, e in doc["stages"].items()

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.config import RunConfig
 from repro.distributed.dynamic_cache import DynamicCacheSpec, is_dynamic_policy
+from repro.obs import OBS
 from repro.distributed.executor import DistributedTrainer
 from repro.distributed.feature_store import PartitionedFeatureStore
 from repro.partition.interface import Partition
@@ -453,21 +454,26 @@ class Planner:
         """
         fp = plan.fingerprint(name)
         stats = self.stats[name]
-        cached = self.cache.get_memory(name, fp)
-        if cached is not None:
-            stats.memory_hits += 1
-            return cached
-        raw = self.cache.load_disk(name, fp)
-        if raw is not None:
-            artifact = from_disk(raw) if from_disk else raw
-            stats.disk_hits += 1
+        with OBS.span(f"planner.{name}", hist="planner.stage_wall_s") as sp:
+            cached = self.cache.get_memory(name, fp)
+            if cached is not None:
+                stats.memory_hits += 1
+                sp.set(tier="memory")
+                return cached
+            raw = self.cache.load_disk(name, fp)
+            if raw is not None:
+                artifact = from_disk(raw) if from_disk else raw
+                stats.disk_hits += 1
+                self.cache.put_memory(name, fp, artifact)
+                sp.set(tier="disk")
+                return artifact
+            artifact = compute()
+            stats.computed += 1
             self.cache.put_memory(name, fp, artifact)
+            self.cache.save_disk(name, fp,
+                                 to_disk(artifact) if to_disk else artifact)
+            sp.set(tier="computed")
             return artifact
-        artifact = compute()
-        stats.computed += 1
-        self.cache.put_memory(name, fp, artifact)
-        self.cache.save_disk(name, fp, to_disk(artifact) if to_disk else artifact)
-        return artifact
 
     def _preprocess(
         self,

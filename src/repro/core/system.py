@@ -37,6 +37,7 @@ from repro.core.planner import Planner
 from repro.distributed.executor import DistributedTrainer, EpochReport
 from repro.distributed.feature_store import PartitionedFeatureStore
 from repro.graph.datasets import GraphDataset
+from repro.obs import OBS
 from repro.partition.interface import Partition
 from repro.partition.registry import make_partition  # noqa: F401  (re-export)
 from repro.partition.reorder import ReorderedDataset
@@ -162,20 +163,23 @@ class SalientPP:
         allreduce barriers).  Reports without a trace fall back to the
         record-based reconstruction.
         """
-        report = self.backend().run_epoch(epoch, dry_run=dry_run)
-        if report.events is not None:
-            timing = simulate_trace(
-                report.events, self.cost_model,
-                mode=self.config.pipeline,
-                depth=self.config.pipeline_depth,
-            )
-        else:
-            timing = simulate_epoch(
-                report, self.cost_model,
-                mode=self.config.pipeline,
-                depth=self.config.pipeline_depth,
-            )
-        return EpochResult(report=report, timing=timing)
+        with OBS.span("system.train_epoch", epoch=epoch, dry_run=dry_run,
+                      backend=self.config.backend):
+            report = self.backend().run_epoch(epoch, dry_run=dry_run)
+            with OBS.span("system.simulate"):
+                if report.events is not None:
+                    timing = simulate_trace(
+                        report.events, self.cost_model,
+                        mode=self.config.pipeline,
+                        depth=self.config.pipeline_depth,
+                    )
+                else:
+                    timing = simulate_epoch(
+                        report, self.cost_model,
+                        mode=self.config.pipeline,
+                        depth=self.config.pipeline_depth,
+                    )
+            return EpochResult(report=report, timing=timing)
 
     def train(self, epochs: int, *, dry_run: bool = False) -> List[EpochResult]:
         return [self.train_epoch(e, dry_run=dry_run) for e in range(epochs)]

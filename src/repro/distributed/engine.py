@@ -46,6 +46,7 @@ from repro.distributed.comm import (
 )
 from repro.distributed.feature_store import FetchPlan, GatherArena
 from repro.nn.functional import cross_entropy
+from repro.obs import OBS
 from repro.sampling.mfg import MFG
 from repro.utils.registry import Registry
 from repro.utils.rng import machine_stream_seed
@@ -122,6 +123,10 @@ class PrefetchIterator:
                 out.append(next(self._batches))
             except StopIteration:
                 break
+        if len(out) < want and OBS.enabled:
+            # Pipeline underrun: the sampler stream could not keep the
+            # requested number of batches in flight.
+            OBS.metrics.counter("engine.pipeline_stalls").inc()
         return out
 
 
@@ -255,40 +260,47 @@ class ExecutionEngine:
         )
 
         losses: List[float] = []
-        for step in range(steps):
-            step_records = []
-            step_losses = []
-            for k in range(K):
-                mfg = next(iterators[k])
-                feats, stats = tr.store.execute(
-                    tr.store.plan_gather(k, mfg.n_id),
-                    out=self._gather_out(k, len(mfg.n_id)),
-                )
-                self._record_fetch(ledger, k, stats)
-                loss_val = None
-                if not dry_run:
-                    loss_val = self._train_batch(k, feats, mfg)
-                    if local_apply:
-                        tr.optimizers[k].step()  # stale local apply, no barrier
-                        losses.append(loss_val)
-                    else:
-                        step_losses.append(loss_val)
-                rec = self._make_record(k, step, mfg, stats, loss_val)
-                records.append(rec)
-                step_records.append(rec)
-            served = served_rows_matrix(step_records, K)
-            for k, rec in enumerate(step_records):
-                emit_step_events(trace, rec, int(served[k]), dims)
-            if step in sync_at:
-                trace.add(Stage.ALLREDUCE, -1, step)
-                if not dry_run:
-                    if local_apply:
-                        average_parameters(tr.models, ledger)
-                    else:
-                        all_reduce_gradients(tr.models, ledger)
-                        for opt in tr.optimizers:
-                            opt.step()
-                        losses.extend(step_losses)
+        with OBS.span("engine.epoch", engine=self.name, epoch=epoch,
+                      steps=steps, machines=K):
+            for step in range(steps):
+                with OBS.span("engine.step", step=step,
+                              hist="engine.step_wall_s"):
+                    step_records = []
+                    step_losses = []
+                    for k in range(K):
+                        mfg = next(iterators[k])
+                        feats, stats = tr.store.execute(
+                            tr.store.plan_gather(k, mfg.n_id),
+                            out=self._gather_out(k, len(mfg.n_id)),
+                        )
+                        self._record_fetch(ledger, k, stats)
+                        loss_val = None
+                        if not dry_run:
+                            loss_val = self._train_batch(k, feats, mfg)
+                            if local_apply:
+                                # stale local apply, no barrier
+                                tr.optimizers[k].step()
+                                losses.append(loss_val)
+                            else:
+                                step_losses.append(loss_val)
+                        rec = self._make_record(k, step, mfg, stats, loss_val)
+                        records.append(rec)
+                        step_records.append(rec)
+                    served = served_rows_matrix(step_records, K)
+                    for k, rec in enumerate(step_records):
+                        emit_step_events(trace, rec, int(served[k]), dims)
+                    if step in sync_at:
+                        trace.add(Stage.ALLREDUCE, -1, step)
+                        if not dry_run:
+                            if local_apply:
+                                average_parameters(tr.models, ledger)
+                            else:
+                                all_reduce_gradients(tr.models, ledger)
+                                for opt in tr.optimizers:
+                                    opt.step()
+                                losses.extend(step_losses)
+            if OBS.enabled:
+                OBS.metrics.counter("engine.steps").inc(steps)
 
         return self._finish_report(epoch, records, ledger, losses, steps,
                                    churn_before, trace)
@@ -344,13 +356,7 @@ class PipelinedEngine(ExecutionEngine):
         return cls(trainer, depth=pipeline_depth)
 
     def run_epoch(self, epoch: int, *, dry_run: bool = False) -> "EpochReport":
-        from repro.pipeline.costmodel import served_rows_matrix
-        from repro.pipeline.events import (
-            EventTrace,
-            Stage,
-            emit_step_events,
-            emit_window_comm_events,
-        )
+        from repro.pipeline.events import EventTrace
 
         tr = self.trainer
         K = tr.num_machines
@@ -369,78 +375,99 @@ class PipelinedEngine(ExecutionEngine):
         )
 
         losses: List[float] = []
-        for w0, w1 in windows:
-            width = w1 - w0
-            # --- prefetch + plan + coalesce + fetch, per machine. ---
-            batches: List[List[MFG]] = []
-            gathered = []  # [k][i] -> (feats, stats)
-            for k in range(K):
-                mfgs = prefetchers[k].next_window(width)
-                if len(mfgs) != width:
-                    raise RuntimeError(
-                        f"machine {k} batch stream ended early "
-                        f"({len(mfgs)}/{width} batches in window {w0})"
-                    )
-                plans = [tr.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
-                results = tr.store.execute_coalesced(
-                    FetchPlan.coalesce(plans),
-                    outs=[self._gather_out(k, len(p.ids), slot=i)
-                          for i, p in enumerate(plans)],
-                )
-                for _feats, stats in results:
-                    self._record_fetch(ledger, k, stats)
-                batches.append(mfgs)
-                gathered.append(results)
-
-            # --- records, in (step, machine) order like bsp. ---
-            window_records: List[List] = []
-            for i, s in enumerate(range(w0, w1)):
-                step_records = []
-                for k in range(K):
-                    rec = self._make_record(
-                        k, s, batches[k][i], gathered[k][i][1], None
-                    )
-                    records.append(rec)
-                    step_records.append(rec)
-                window_records.append(step_records)
-
-            # --- events: per-step stages + one coalesced comm window. ---
-            window_served = np.zeros(K, dtype=np.int64)
-            for step_records in window_records:
-                window_served += served_rows_matrix(step_records, K)
-            for i, s in enumerate(range(w0, w1)):
-                for rec in window_records[i]:
-                    emit_step_events(trace, rec, 0, dims, window_start=w0)
-                trace.add(Stage.ALLREDUCE, -1, s)
-            for k in range(K):
-                machine_recs = [r for sr in window_records for r in sr
-                                if r.machine == k]
-                request_rows = int(sum(
-                    r.gather.remote_rows + r.gather.refresh_fetch_rows
-                    for r in machine_recs
-                ))
-                emit_window_comm_events(
-                    trace, w0, k, request_rows, int(window_served[k]),
-                    mfg_edges=int(sum(r.mfg_edges for r in machine_recs)),
-                )
-
-            # --- train the window's steps in bsp order. ---
-            if not dry_run:
-                for i, s in enumerate(range(w0, w1)):
-                    step_losses = []
-                    for k in range(K):
-                        loss_val = self._train_batch(
-                            k, gathered[k][i][0], batches[k][i]
-                        )
-                        window_records[i][k].loss = loss_val
-                        step_losses.append(loss_val)
-                    all_reduce_gradients(tr.models, ledger)
-                    for opt in tr.optimizers:
-                        opt.step()
-                    losses.extend(step_losses)
+        with OBS.span("engine.epoch", engine=self.name, epoch=epoch,
+                      steps=steps, machines=K, depth=depth):
+            for w0, w1 in windows:
+                with OBS.span("engine.window", window=w0,
+                              hist="engine.window_wall_s"):
+                    self._run_window(w0, w1, prefetchers, trace, ledger,
+                                     records, losses, dims, dry_run=dry_run)
+            if OBS.enabled:
+                OBS.metrics.counter("engine.steps").inc(steps)
 
         return self._finish_report(epoch, records, ledger, losses, steps,
                                    churn_before, trace)
+
+    def _run_window(self, w0: int, w1: int, prefetchers, trace, ledger,
+                    records, losses, dims, *, dry_run: bool) -> None:
+        """Prefetch, coalesce-fetch, record, and train one window."""
+        from repro.pipeline.costmodel import served_rows_matrix
+        from repro.pipeline.events import (
+            Stage,
+            emit_step_events,
+            emit_window_comm_events,
+        )
+
+        tr = self.trainer
+        K = tr.num_machines
+        width = w1 - w0
+        # --- prefetch + plan + coalesce + fetch, per machine. ---
+        batches: List[List[MFG]] = []
+        gathered = []  # [k][i] -> (feats, stats)
+        for k in range(K):
+            mfgs = prefetchers[k].next_window(width)
+            if len(mfgs) != width:
+                raise RuntimeError(
+                    f"machine {k} batch stream ended early "
+                    f"({len(mfgs)}/{width} batches in window {w0})"
+                )
+            plans = [tr.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
+            results = tr.store.execute_coalesced(
+                FetchPlan.coalesce(plans),
+                outs=[self._gather_out(k, len(p.ids), slot=i)
+                      for i, p in enumerate(plans)],
+            )
+            for _feats, stats in results:
+                self._record_fetch(ledger, k, stats)
+            batches.append(mfgs)
+            gathered.append(results)
+
+        # --- records, in (step, machine) order like bsp. ---
+        window_records: List[List] = []
+        for i, s in enumerate(range(w0, w1)):
+            step_records = []
+            for k in range(K):
+                rec = self._make_record(
+                    k, s, batches[k][i], gathered[k][i][1], None
+                )
+                records.append(rec)
+                step_records.append(rec)
+            window_records.append(step_records)
+
+        # --- events: per-step stages + one coalesced comm window. ---
+        window_served = np.zeros(K, dtype=np.int64)
+        for step_records in window_records:
+            window_served += served_rows_matrix(step_records, K)
+        for i, s in enumerate(range(w0, w1)):
+            for rec in window_records[i]:
+                emit_step_events(trace, rec, 0, dims, window_start=w0)
+            trace.add(Stage.ALLREDUCE, -1, s)
+        for k in range(K):
+            machine_recs = [r for sr in window_records for r in sr
+                            if r.machine == k]
+            request_rows = int(sum(
+                r.gather.remote_rows + r.gather.refresh_fetch_rows
+                for r in machine_recs
+            ))
+            emit_window_comm_events(
+                trace, w0, k, request_rows, int(window_served[k]),
+                mfg_edges=int(sum(r.mfg_edges for r in machine_recs)),
+            )
+
+        # --- train the window's steps in bsp order. ---
+        if not dry_run:
+            for i, s in enumerate(range(w0, w1)):
+                step_losses = []
+                for k in range(K):
+                    loss_val = self._train_batch(
+                        k, gathered[k][i][0], batches[k][i]
+                    )
+                    window_records[i][k].loss = loss_val
+                    step_losses.append(loss_val)
+                all_reduce_gradients(tr.models, ledger)
+                for opt in tr.optimizers:
+                    opt.step()
+                losses.extend(step_losses)
 
 
 @ENGINES.register("async")

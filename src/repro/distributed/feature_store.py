@@ -39,7 +39,31 @@ from repro.distributed.dynamic_cache import (
     DynamicCache,
     DynamicCacheSpec,
 )
+from repro.obs import OBS
 from repro.partition.reorder import ReorderedDataset
+
+
+def _note_gather(stats: "GatherStats") -> None:
+    """Mirror one gather's row counts into the metrics registry.
+
+    Only called when ``OBS.enabled`` — the gather hot path pays one boolean
+    check when observability is off.  Counts are taken from the already-
+    computed :class:`GatherStats`, so recording changes no math.
+    """
+    m = OBS.metrics
+    m.counter("store.gathers").inc()
+    m.counter("store.gather_rows").inc(stats.total_rows)
+    m.counter("store.gpu_rows").inc(stats.gpu_rows)
+    m.counter("store.cpu_rows").inc(stats.cpu_rows)
+    m.counter("store.cached_rows").inc(stats.cached_rows)
+    m.counter("store.remote_rows").inc(stats.remote_rows)
+    m.counter("store.coalesced_rows").inc(stats.coalesced_rows)
+    if stats.cache_insertions or stats.cache_evictions:
+        m.counter("cache.admissions").inc(stats.cache_insertions)
+        m.counter("cache.evictions").inc(stats.cache_evictions)
+    if stats.refresh_fetch_per_peer is not None:
+        m.counter("cache.refreshes").inc()
+        m.counter("cache.refresh_rows").inc(stats.refresh_fetch_rows)
 
 
 @dataclass
@@ -668,7 +692,7 @@ class PartitionedFeatureStore:
             # All-local plan with no caller buffer: the fancy-indexed local
             # rows are already the full output in plan order (local_pos is
             # then arange(len(ids))) — skip the second matrix entirely.
-            return store.local_rows(plan.local_ids), GatherStats(
+            stats = GatherStats(
                 total_rows=len(plan.ids),
                 gpu_rows=plan.gpu_rows,
                 cpu_rows=plan.cpu_rows,
@@ -676,6 +700,9 @@ class PartitionedFeatureStore:
                 remote_rows=0,
                 remote_per_peer=np.zeros(self.num_machines, dtype=np.int64),
             )
+            if OBS.enabled:
+                _note_gather(stats)
+            return store.local_rows(plan.local_ids), stats
         out = self._output_for(plan, out)
         _rows_into(out, plan.local_pos, store.local_features,
                    plan.local_ids - store.lo)
@@ -698,6 +725,8 @@ class PartitionedFeatureStore:
                 store, stats, plan.cached_ids, plan.remote_ids, out,
                 plan.remote_pos, plan.nonlocal_ids,
             )
+        if OBS.enabled:
+            _note_gather(stats)
         return out, stats
 
     def execute_coalesced(self, cplan: CoalescedFetchPlan, *,
@@ -758,6 +787,9 @@ class PartitionedFeatureStore:
         if store.has_dynamic_cache:
             for plan, (out, stats) in zip(cplan.plans, results):
                 self._maintain_dynamic_cache_in_flight(store, stats, plan, out)
+        if OBS.enabled:
+            for _out, stats in results:
+                _note_gather(stats)
         return results
 
     def _maintain_dynamic_cache_in_flight(

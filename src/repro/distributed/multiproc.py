@@ -119,6 +119,7 @@ from repro.distributed.shm_plane import (
     SlabStateError,
 )
 from repro.distributed.wire import WireError, pack_message, unpack_message
+from repro.obs import OBS, clock_anchor, spans_from_wire, spans_to_wire
 from repro.utils.rng import derive_seed, machine_stream_seed
 
 # NOTE: repro.pipeline modules are imported lazily inside functions — same
@@ -605,42 +606,60 @@ class _WorkerRuntime:
         if fail is not None and fail[0] == epoch and step_lo <= fail[1] < step_hi:
             os._exit(13)  # simulated hard crash (no cleanup, no goodbye)
 
-    def run_epoch(self, epoch: int, dry_run: bool) -> None:
+    def run_epoch(self, epoch: int, dry_run: bool,
+                  trace_ctx: Optional[dict] = None) -> None:
         from repro.pipeline.events import emit_step_events
 
         spec = self.spec
         k = spec.machine
+        if trace_ctx:
+            # The coordinator shipped its trace context in the run token:
+            # record this epoch's spans under the same trace id, parented
+            # on the coordinator's epoch span, and batch them into the
+            # done message (no extra hot-path wire traffic).
+            OBS.enable(lane=f"worker-{k}",
+                       trace_id=trace_ctx.get("trace_id"))
+            OBS.tracer.drain()
+            OBS.metrics.reset()
+        parent = int(trace_ctx.get("parent") or 0) if trace_ctx else None
         events = _EventSink()
         records: List[StepRecord] = []
         digests: List[np.ndarray] = []
         owner_of = self.store.reordered.owner_of
-        if spec.engine == "bsp":
-            iterator = self._batches(epoch)
-            for step in range(spec.steps_per_epoch):
-                mfg = next(iterator)
-                plan = self.store.plan_gather(k, mfg.n_id)
-                feats, stats = self.store.execute(
-                    plan, out=self.arena.out((k, 0), len(mfg.n_id),
-                                             spec.feature_dim,
-                                             feats_dtype(self)),
-                )
-                self._maybe_fail(epoch, step, step + 1)
-                loss = None
-                if not dry_run:
-                    loss = train_batch(self.model, feats, mfg,
-                                       self.labels[mfg.seeds])
-                rec = self._make_record(step, mfg, stats, loss)
-                records.append(rec)
-                digests.append(_plan_digest(plan, owner_of, spec.num_machines))
-                emit_step_events(events, rec, 0, self.dims, window_start=step)
-                if dry_run:
-                    self.send("step", {"step": step})
-                else:
-                    self._sync_step(step)
-        elif spec.engine == "pipelined":
-            self._run_pipelined_epoch(epoch, dry_run, events, records, digests)
-        else:  # pragma: no cover - validated coordinator-side
-            raise RuntimeError(f"unsupported engine {spec.engine!r}")
+        with OBS.span("worker.epoch", parent_id=parent, machine=k,
+                      epoch=epoch, engine=spec.engine, dry_run=dry_run):
+            if spec.engine == "bsp":
+                iterator = self._batches(epoch)
+                for step in range(spec.steps_per_epoch):
+                    with OBS.span("worker.step", step=step,
+                                  hist="worker.step_wall_s"):
+                        mfg = next(iterator)
+                        plan = self.store.plan_gather(k, mfg.n_id)
+                        feats, stats = self.store.execute(
+                            plan, out=self.arena.out((k, 0), len(mfg.n_id),
+                                                     spec.feature_dim,
+                                                     feats_dtype(self)),
+                        )
+                        self._maybe_fail(epoch, step, step + 1)
+                        loss = None
+                        if not dry_run:
+                            loss = train_batch(self.model, feats, mfg,
+                                               self.labels[mfg.seeds])
+                        rec = self._make_record(step, mfg, stats, loss)
+                        records.append(rec)
+                        digests.append(
+                            _plan_digest(plan, owner_of, spec.num_machines))
+                        emit_step_events(events, rec, 0, self.dims,
+                                         window_start=step)
+                        if dry_run:
+                            self.send("step", {"step": step})
+                        else:
+                            self._sync_step(step)
+            elif spec.engine == "pipelined":
+                self._run_pipelined_epoch(epoch, dry_run, events, records,
+                                          digests)
+            else:  # pragma: no cover - validated coordinator-side
+                raise RuntimeError(f"unsupported engine {spec.engine!r}")
 
         state = None
         if not dry_run:
@@ -648,12 +667,18 @@ class _WorkerRuntime:
         digest_mat = (np.stack(digests) if digests else
                       np.zeros((0, DIGEST_HEAD + spec.num_machines),
                                dtype=np.int64))
-        self.send("done", {
+        done = {
             "records": [_encode_record(r) for r in records],
             "digests": digest_mat,
             "events": _encode_events(events.events),
             "state": state,
-        })
+        }
+        if trace_ctx:
+            done["spans"] = spans_to_wire(OBS.tracer.drain())
+            done["clock"] = list(clock_anchor())
+            done["metrics"] = OBS.metrics.snapshot()
+            OBS.disable()
+        self.send("done", done)
 
     def _run_pipelined_epoch(self, epoch: int, dry_run: bool, events,
                              records: list, digests: list) -> None:
@@ -666,37 +691,43 @@ class _WorkerRuntime:
         prefetcher = PrefetchIterator(self._batches(epoch), depth)
         for w0 in range(0, steps, depth):
             w1 = min(w0 + depth, steps)
-            width = w1 - w0
-            mfgs = prefetcher.next_window(width)
-            if len(mfgs) != width:
-                raise RuntimeError(
-                    f"machine {k} batch stream ended early "
-                    f"({len(mfgs)}/{width} batches in window {w0})"
+            with OBS.span("worker.window", window=w0, width=w1 - w0,
+                          hist="worker.window_wall_s"):
+                width = w1 - w0
+                mfgs = prefetcher.next_window(width)
+                if len(mfgs) != width:
+                    raise RuntimeError(
+                        f"machine {k} batch stream ended early "
+                        f"({len(mfgs)}/{width} batches in window {w0})"
+                    )
+                plans = [self.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
+                cplan = FetchPlan.coalesce(plans)
+                results = self.store.execute_coalesced(
+                    cplan,
+                    outs=[self.arena.out((k, i), len(p.ids),
+                                         spec.feature_dim,
+                                         feats_dtype(self))
+                          for i, p in enumerate(plans)],
                 )
-            plans = [self.store.plan_gather(k, mfg.n_id) for mfg in mfgs]
-            cplan = FetchPlan.coalesce(plans)
-            results = self.store.execute_coalesced(
-                cplan,
-                outs=[self.arena.out((k, i), len(p.ids), spec.feature_dim,
-                                     feats_dtype(self))
-                      for i, p in enumerate(plans)],
-            )
-            self._maybe_fail(epoch, w0, w1)
-            recs = [self._make_record(s, mfgs[i], results[i][1], None)
-                    for i, s in enumerate(range(w0, w1))]
-            records.extend(recs)
-            digests.extend(
-                _plan_digest(plan, owner_of, spec.num_machines, fresh=fresh)
-                for plan, fresh in zip(cplan.plans, cplan.first_request))
-            for rec in recs:
-                emit_step_events(events, rec, 0, self.dims, window_start=w0)
-            self.send("window", {"w0": w0})
-            if not dry_run:
-                for i, s in enumerate(range(w0, w1)):
-                    loss = train_batch(self.model, results[i][0], mfgs[i],
-                                       self.labels[mfgs[i].seeds])
-                    recs[i].loss = loss
-                    self._sync_step(s)
+                self._maybe_fail(epoch, w0, w1)
+                recs = [self._make_record(s, mfgs[i], results[i][1], None)
+                        for i, s in enumerate(range(w0, w1))]
+                records.extend(recs)
+                digests.extend(
+                    _plan_digest(plan, owner_of, spec.num_machines,
+                                 fresh=fresh)
+                    for plan, fresh in zip(cplan.plans, cplan.first_request))
+                for rec in recs:
+                    emit_step_events(events, rec, 0, self.dims,
+                                     window_start=w0)
+                self.send("window", {"w0": w0})
+                if not dry_run:
+                    for i, s in enumerate(range(w0, w1)):
+                        loss = train_batch(self.model, results[i][0],
+                                           mfgs[i],
+                                           self.labels[mfgs[i].seeds])
+                        recs[i].loss = loss
+                        self._sync_step(s)
 
 
 class _EventSink:
@@ -754,7 +785,8 @@ def _worker_main(conn) -> None:
             elif kind == "run":
                 if runtime is None:
                     raise RuntimeError("run received before bind")
-                runtime.run_epoch(payload["epoch"], payload["dry_run"])
+                runtime.run_epoch(payload["epoch"], payload["dry_run"],
+                                  payload.get("trace"))
             else:
                 raise RuntimeError(f"unexpected coordinator message {kind!r}")
     except (EOFError, BrokenPipeError, OSError):
@@ -967,6 +999,10 @@ class MultiprocBackend(ClusterBackend):
         self.wire_sent: Dict[str, List[int]] = {}
         self.wire_received: Dict[str, List[int]] = {}
         self._finalizer = None
+        #: Span id of the epoch currently running (0 outside an epoch or
+        #: with observability off) — broadcast to workers so their epoch
+        #: spans parent onto the coordinator's.
+        self._epoch_span_id = 0
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -1052,6 +1088,10 @@ class MultiprocBackend(ClusterBackend):
 
             pooled = WORKER_POOL.acquire(self._pool_key)
             self.reused_pool = pooled is not None
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "mp.warm_pool_hits" if self.reused_pool
+                    else "mp.warm_pool_misses").inc()
             if pooled is not None:
                 for proc, conn in pooled:
                     self._procs.append(proc)
@@ -1358,21 +1398,50 @@ class MultiprocBackend(ClusterBackend):
         self.start()
         self._idle = False
         try:
-            if self.system.config.engine == "bsp":
-                report = self._run_bsp(epoch, dry_run)
-            else:
-                report = self._run_pipelined(epoch, dry_run)
+            with OBS.span("mp.epoch", epoch=epoch, dry_run=dry_run,
+                          engine=self.system.config.engine,
+                          machines=self.system.trainer.num_machines,
+                          hist="mp.epoch_wall_s") as span:
+                self._epoch_span_id = span.span_id
+                if self.system.config.engine == "bsp":
+                    report = self._run_bsp(epoch, dry_run)
+                else:
+                    report = self._run_pipelined(epoch, dry_run)
         except WorkerFailedError:
             raise
         except Exception:
             self.close()
             raise
+        finally:
+            self._epoch_span_id = 0
+        if OBS.enabled:
+            self._note_wire_gauges()
         self._idle = True
         return report
 
+    def _note_wire_gauges(self) -> None:
+        """Mirror cumulative wire accounting and cluster health into the
+        metrics registry.  Gauges (not counters) because the wire tables
+        are cumulative across epochs — setting is idempotent."""
+        m = OBS.metrics
+        m.gauge("mp.wire_sent_bytes").set(
+            sum(b for _n, b in self.wire_sent.values()))
+        m.gauge("mp.wire_received_bytes").set(
+            sum(b for _n, b in self.wire_received.values()))
+        m.gauge("mp.wire_sent_msgs").set(
+            sum(n for n, _b in self.wire_sent.values()))
+        m.gauge("mp.wire_received_msgs").set(
+            sum(n for n, _b in self.wire_received.values()))
+        m.gauge("mp.workers_alive").set(
+            sum(1 for p in self._procs if p.is_alive()))
+
     def _broadcast_run(self, epoch: int, dry_run: bool) -> None:
+        payload: dict = {"epoch": epoch, "dry_run": dry_run}
+        if OBS.enabled:
+            payload["trace"] = {"trace_id": OBS.tracer.trace_id,
+                                "parent": self._epoch_span_id}
         for k in range(self.system.trainer.num_machines):
-            self._send(k, "run", {"epoch": epoch, "dry_run": dry_run})
+            self._send(k, "run", payload)
 
     def _finish_report(self, epoch, records, ledger, losses, steps, trace,
                        states) -> EpochReport:
@@ -1530,6 +1599,20 @@ class MultiprocBackend(ClusterBackend):
                 self._fail(k, f"reported {len(records)} step records, "
                               f"expected {steps}")
             self._audit_digests(k, digests, records)
+            if OBS.enabled and payload.get("spans") is not None:
+                # Merge the worker's batched spans into the coordinator
+                # trace, rebasing their perf_counter timestamps through
+                # the worker's (perf, wall) clock anchor.
+                try:
+                    remote = spans_from_wire(payload["spans"])
+                    anchor = tuple(int(t) for t in payload["clock"])
+                    OBS.tracer.merge_remote(remote, anchor, clock_anchor())
+                    snap = payload.get("metrics")
+                    if snap:
+                        OBS.metrics.merge_snapshot(snap)
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._fail(k, f"undecodable telemetry in done "
+                                  f"payload: {exc}")
             per_worker.append({"records": records, "events": events,
                                "state": state})
         return per_worker

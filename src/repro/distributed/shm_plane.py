@@ -54,6 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distributed.comm import average_gradient_fields
+from repro.obs import OBS
 
 #: Doorbell words at the head of every slab (int64 each).
 HEADER_WORDS = 8
@@ -178,11 +179,17 @@ class GradSlab:
 
     def check_stable(self, step: int, machine: Optional[int] = None) -> int:
         """Require an even seq and a matching step tag; returns the seq."""
+        if OBS.enabled:
+            OBS.metrics.counter("shm.seqlock_checks").inc()
         seq = self.seq
         if seq % 2 != 0:
+            if OBS.enabled:
+                OBS.metrics.counter("shm.slab_state_errors").inc()
             raise SlabStateError(
                 f"slab write in flight (seq {seq})", machine=machine)
         if self.step != step:
+            if OBS.enabled:
+                OBS.metrics.counter("shm.slab_state_errors").inc()
             raise SlabStateError(
                 f"slab holds step {self.step}, expected {step}",
                 machine=machine)
@@ -203,6 +210,8 @@ class GradSlab:
             else:
                 dst[...] = src
         self.publish(step)
+        if OBS.enabled:
+            OBS.metrics.counter("shm.slab_writes").inc()
 
     def read_into(self, outs: Sequence[np.ndarray], step: int,
                   machine: Optional[int] = None) -> None:
@@ -216,6 +225,12 @@ class GradSlab:
         for dst, src in zip(outs, self.fields):
             dst[...] = src
         if self.seq != seq:
+            # No retry here by design: the control tokens are the real
+            # synchronization, so a torn read is a protocol fault worth
+            # surfacing, not a transient to spin on.  The counter makes
+            # detections visible in the registry.
+            if OBS.enabled:
+                OBS.metrics.counter("shm.torn_reads").inc()
             raise TornReadError(
                 f"slab rewritten during read (seq {seq} -> {self.seq})",
                 machine=machine)
@@ -271,10 +286,14 @@ class GradientPlane:
         )
         for k, (slab, seq) in enumerate(zip(self.worker_slabs, seqs)):
             if slab.seq != seq:
+                if OBS.enabled:
+                    OBS.metrics.counter("shm.torn_reads").inc()
                 raise TornReadError(
                     f"worker slab rewritten during averaging "
                     f"(seq {seq} -> {slab.seq})", machine=k)
         self.avg_slab.publish(step)
+        if OBS.enabled:
+            OBS.metrics.counter("shm.averages").inc()
 
     def release(self) -> None:
         """Drop every numpy view into the buffer (required before the

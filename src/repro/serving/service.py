@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.distributed.executor import _candidate_edges, sage_forward_flops
+from repro.obs import OBS
 from repro.distributed.feature_store import (
     FetchPlan,
     GatherArena,
@@ -52,7 +53,12 @@ from repro.pipeline.events import EventTrace, Stage, emit_window_comm_events
 from repro.sampling.mfg import MFG
 from repro.sampling.neighbor import NeighborSampler
 from repro.serving.batcher import MicroBatcher, make_batcher
-from repro.serving.metrics import GatherTotals, RequestRecord, ServingReport
+from repro.serving.metrics import (
+    GatherTotals,
+    RequestRecord,
+    ServingReport,
+    latency_histogram,
+)
 from repro.serving.workload import ClosedLoopWorkload, Request
 from repro.utils.rng import SeedLike, derive_seed
 
@@ -342,6 +348,7 @@ class InferenceService:
             windows=[], machine_of_step=[],
         )
         self._totals = GatherTotals()
+        self._latency_hist = latency_histogram()
         self._records: List[RequestRecord] = []
         self._predictions = {}
         self._originals = {}
@@ -404,6 +411,7 @@ class InferenceService:
             num_batches=self._trace.num_steps,
             makespan=makespan,
             window_durations=self._window_durations,
+            latency_hist=self._latency_hist,
         )
 
     # ------------------------------------------------------------------
@@ -530,19 +538,54 @@ class InferenceService:
 
         start = max(now, self._busy[machine])
         clock = start + sample_time + comm_time
+        window_parent = 0
+        if OBS.enabled:
+            lane = f"machine-{machine}"
+            win = OBS.tracer.add_sim_span(
+                "serve.window", start, start, lane=lane,
+                batches=len(groups), demand_rows=demand_rows,
+            )
+            window_parent = win.span_id
+            OBS.tracer.add_sim_span("serve.sample", start,
+                                    start + sample_time, lane=lane,
+                                    parent_id=window_parent)
+            OBS.tracer.add_sim_span("serve.fetch", start + sample_time,
+                                    clock, lane=lane,
+                                    parent_id=window_parent,
+                                    remote_rows=demand_rows)
         for i, group in enumerate(groups):
+            forward_start = clock
             clock += compute_times[i]
+            if OBS.enabled:
+                OBS.tracer.add_sim_span("serve.forward", forward_start,
+                                        clock, lane=f"machine-{machine}",
+                                        parent_id=window_parent,
+                                        requests=len(group))
             self._finish_batch(machine, mfgs[i], results[i][0], group,
-                               formed=now, started=start, completed=clock)
+                               formed=now, started=start, completed=clock,
+                               window_span=window_parent)
         self._window_durations.append(clock - start)
         # Cache-refresh fetches run after the responses are out: they hold
         # the machine (delaying the next window) but not these requests.
         refresh_time = priced(Stage.CACHE_REFRESH, step0, rows=refresh_rows)
         self._busy[machine] = clock + refresh_time
+        if window_parent:
+            win.sim_end = self._busy[machine]
+            if refresh_rows:
+                OBS.tracer.add_sim_span(
+                    "serve.cache_refresh", clock, self._busy[machine],
+                    lane=f"machine-{machine}", parent_id=window_parent,
+                    rows=refresh_rows,
+                )
+            m = OBS.metrics
+            m.counter("serving.windows").inc()
+            m.counter("serving.batches").inc(len(groups))
+            m.counter("serving.demand_rows").inc(demand_rows)
+            m.counter("serving.refresh_rows").inc(refresh_rows)
 
     def _finish_batch(self, machine: int, mfg: MFG, feats: np.ndarray,
                       group: List[Request], *, formed: float, started: float,
-                      completed: float) -> None:
+                      completed: float, window_span: int = 0) -> None:
         """Forward pass → per-seed predictions, records, completion event."""
         self.model.eval()
         logits = self.model(feats, mfg)
@@ -556,4 +599,15 @@ class InferenceService:
                 arrival=req.arrival, formed=formed, started=started,
                 completed=completed,
             ))
+            self._latency_hist.observe(completed - req.arrival)
+            if OBS.enabled:
+                # One admission→reply span per request: queueing is
+                # visible as the gap between arrival and the window span.
+                OBS.tracer.add_sim_span(
+                    "serve.request", req.arrival, completed,
+                    lane=f"machine-{machine}", parent_id=window_span,
+                    rid=req.rid, num_seeds=req.num_seeds,
+                    formed=formed, started=started,
+                )
+                OBS.metrics.counter("serving.requests").inc()
         self._push(completed, _COMPLETE, (machine, group))

@@ -225,3 +225,74 @@ class TestPerMachineTraces:
         expected = (2 * net.latency + 100 * 8 / net.effective_bandwidth
                     + 100 * cm.bytes_per_row / net.effective_bandwidth)
         assert cm.event_duration(trace2.events[-1]) == pytest.approx(expected)
+
+
+class TestEventTraceEdgeCases:
+    """Degenerate shapes the serving and streaming paths can produce:
+    empty epochs, single-step traces, and serving-only traces with
+    CACHE_REFRESH events interleaved between windows."""
+
+    def test_empty_trace_validates(self):
+        trace = EventTrace(engine="bsp", num_machines=4, num_steps=0,
+                           windows=[])
+        assert trace.validate() is trace
+        assert trace.index() == {}
+
+    def test_empty_per_machine_trace_validates(self):
+        trace = EventTrace(engine="serving", num_machines=2, num_steps=0,
+                           windows=[], machine_of_step=[])
+        assert trace.validate() is trace
+
+    def test_empty_trace_rejects_phantom_window(self):
+        trace = EventTrace(engine="bsp", num_machines=1, num_steps=0,
+                           windows=[(0, 1)])
+        with pytest.raises(ValueError, match="tile"):
+            trace.validate()
+
+    def test_single_step_lockstep_trace(self):
+        trace = EventTrace(engine="bsp", num_machines=2, num_steps=1,
+                           windows=[(0, 1)], allreduce_steps=[0])
+        per_step = (Stage.SAMPLE, Stage.LOCAL_SLICE, Stage.H2D,
+                    Stage.GPU_GATHER, Stage.TRAIN)
+        for k in range(2):
+            for st in per_step:
+                trace.add(st, k, 0)
+            trace.add(Stage.REQUEST_EXCHANGE, k, 0,
+                      request_rows=1, serve_rows=1)
+            trace.add(Stage.SERVE_SLICE, k, 0, rows=1)
+            trace.add(Stage.FEATURE_COMM, k, 0, in_rows=1, out_rows=1)
+        with pytest.raises(ValueError, match="missing allreduce"):
+            trace.validate()
+        trace.add(Stage.ALLREDUCE, -1, 0)
+        assert trace.validate() is trace
+
+    def test_single_step_missing_stage_caught(self):
+        trace = EventTrace(engine="serving", num_machines=2, num_steps=1,
+                           windows=[(0, 1)], machine_of_step=[1])
+        for st in (Stage.SAMPLE, Stage.LOCAL_SLICE, Stage.H2D,
+                   Stage.GPU_GATHER):
+            trace.add(st, 1, 0)
+        with pytest.raises(ValueError, match="missing train"):
+            trace.validate()
+
+    def test_machine_of_step_with_cache_refresh_interleaved(self):
+        """A serving trace where refresh fetches land between windows:
+        CACHE_REFRESH is never *required*, but interleaved refresh events
+        must not break per-machine validation or the memoized index."""
+        owners = [0, 0, 1, 0]
+        windows = [(0, 2), (2, 3), (3, 4)]
+        trace = TestPerMachineTraces._serving_trace(owners, windows)
+        # One refresh after each window, on that window's owning machine.
+        for lo, _hi in windows:
+            trace.add(Stage.CACHE_REFRESH, owners[lo], lo, rows=17)
+        assert trace.validate() is trace
+        idx = trace.index()
+        assert (Stage.CACHE_REFRESH, 0, 0) in idx
+        assert (Stage.CACHE_REFRESH, 1, 2) in idx
+        # machine_of_step is still authoritative for ownership queries.
+        assert trace.machine_of_step == owners
+        # A duplicate refresh for the same (machine, window) is an engine
+        # bug the index must catch.
+        trace.add(Stage.CACHE_REFRESH, 0, 0, rows=3)
+        with pytest.raises(ValueError, match="duplicate"):
+            trace.index()
