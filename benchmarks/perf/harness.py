@@ -45,6 +45,13 @@ Tracked stages
     each window before the median walls are reported.  ``dense_wall_s``
     includes the rebuild because that is what a snapshot-less consumer
     pays to evaluate on the mutated graph.
+``recovery.mttr``
+    Mean time-to-recovery for the standard chaos scenario: a worker killed
+    mid-epoch on a real recoverable multiproc cluster, detected by the
+    coordinator, respawned, restored from the epoch-boundary checkpoint,
+    and the interrupted epoch replayed — asserted bit-identical to a
+    fault-free oracle before the detect/backoff/respawn/replay walls are
+    reported.
 ``gather.into``
     Arena-backed ``gather_into`` against the allocating ``execute`` on
     identical id streams.
@@ -256,6 +263,72 @@ def multiproc_stages(stages: dict, *, dataset=None) -> None:
         warm_pool_hit=bool(reused),
         warm_pool_miss=bool(not reused),
         mean_loss=round(result.report.mean_loss, 6), bit_identical=True)
+
+
+# ----------------------------------------------------------------------
+def recovery_stages(stages: dict, *, epochs=2) -> None:
+    """Mean time-to-recovery for a standard mid-epoch kill.
+
+    A small recoverable cluster (the failure walls — detection, respawn,
+    checkpoint restore — do not scale with the dataset, so this stage uses
+    the tiny graph to keep the chaos scenario cheap) trains under a
+    ``FaultPlan`` that kills one worker mid-epoch; ``RecoveryManager``
+    detects, backs off (zero jitter, so the stage is deterministic),
+    respawns, restores the epoch-boundary checkpoint, and replays.  The
+    recovered losses are asserted bit-identical to a fault-free oracle
+    before any wall is reported; ``wall_s`` is ``mttr_s()`` — the
+    detect + backoff + recover + replay total.
+    """
+    from repro.core import SalientPP
+    from repro.distributed import (
+        FaultPlan,
+        MultiprocBackend,
+        RecoveryManager,
+        RecoveryPolicy,
+    )
+    from repro.distributed.multiproc import WORKER_POOL
+    from repro.graph.datasets import make_tiny
+
+    def build_system():
+        ds = make_tiny(seed=3, num_vertices=2000)
+        cfg = RunConfig(num_machines=2, fanouts=(4, 3), batch_size=16,
+                        hidden_dim=16, replication_factor=0.05,
+                        gpu_fraction=0.5, seed=0)
+        return SalientPP.build(ds, cfg)
+
+    def losses(reports):
+        return [[rec.loss for rec in rep.records] for rep in reports]
+
+    oracle_backend = MultiprocBackend(build_system(), timeout_s=60.0)
+    try:
+        oracle = losses([oracle_backend.run_epoch(e) for e in range(epochs)])
+    finally:
+        oracle_backend.close()
+
+    backend = MultiprocBackend(
+        build_system(), timeout_s=60.0, recoverable=True,
+        faults=FaultPlan.single("kill", machine=1, epoch=1, step=1))
+    manager = RecoveryManager(backend, RecoveryPolicy(
+        max_restarts=2, backoff_base_s=0.01, backoff_max_s=0.02, jitter=0.0))
+    try:
+        wall, reports = _timed(lambda: manager.train(epochs))
+    finally:
+        backend.close()
+        WORKER_POOL.clear()
+    if losses(reports) != oracle:
+        raise AssertionError(
+            "recovered run diverged from the fault-free oracle"
+        )
+    rec = manager.recoveries[0]
+    stages["recovery.mttr"] = _entry(
+        manager.mttr_s(),
+        detect_s=round(rec["detect_s"], 6),
+        backoff_s=round(rec["backoff_s"], 6),
+        recover_s=round(rec["recover_s"], 6),
+        replay_s=round(rec["replay_s"], 6),
+        restarts=manager.restarts,
+        train_wall_s=round(wall, 6),
+        workers=2, fault="kill@epoch1:step1", bit_identical=True)
 
 
 # ----------------------------------------------------------------------
@@ -507,6 +580,7 @@ def run_all(*, num_requests=1_200, engines=("bsp", "pipelined", "async")) -> dic
     reordered = preprocessing_stages(stages, dataset=dataset)
     engine_stages(stages, engines=engines, dataset=dataset)
     multiproc_stages(stages, dataset=dataset)
+    recovery_stages(stages)
     serving_stages(stages, num_requests=num_requests, dataset=dataset)
     streaming_stages(stages, dataset=dataset)
     gather_stages(stages, reordered=reordered)

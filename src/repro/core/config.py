@@ -62,6 +62,21 @@ class ServingConfig:
     max_in_flight: int = 4
     router: str = "round-robin"
     fanouts: Optional[Tuple[int, ...]] = None
+    #: Degraded-mode serving: what to do with a request whose fetch plan
+    #: touches a down machine, per SLO class — ``"retry"`` (requeue with
+    #: backoff until the partition returns or ``retry_limit`` is spent,
+    #: then degrade), ``"degrade"`` (serve immediately from resident
+    #: state, remote rows zero-filled, the request marked ``degraded``),
+    #: or ``"shed"`` (refuse, no prediction).  Unlisted SLO classes
+    #: degrade.  Never silently wrong: every choice lands in the
+    #: availability ledger.
+    slo_policies: Tuple[Tuple[str, str], ...] = (
+        ("interactive", "retry"),
+        ("standard", "degrade"),
+        ("batch", "shed"),
+    )
+    retry_backoff_ms: float = 5.0
+    retry_limit: int = 3
 
     def validate(self) -> "ServingConfig":
         """Fail fast on malformed serving knobs; returns ``self``."""
@@ -71,6 +86,26 @@ class ServingConfig:
         if self.router not in ROUTERS:
             raise ValueError(
                 f"unknown router {self.router!r}; valid: {sorted(ROUTERS)}"
+            )
+        valid_actions = ("retry", "degrade", "shed")
+        for entry in self.slo_policies:
+            if len(entry) != 2:
+                raise ValueError(
+                    f"slo_policies entries must be (slo, action) pairs, "
+                    f"got {entry!r}"
+                )
+            if entry[1] not in valid_actions:
+                raise ValueError(
+                    f"unknown degraded-mode action {entry[1]!r} for SLO "
+                    f"{entry[0]!r}; valid: {valid_actions}"
+                )
+        if self.retry_backoff_ms <= 0:
+            raise ValueError(
+                f"retry_backoff_ms must be positive, got {self.retry_backoff_ms}"
+            )
+        if self.retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be non-negative, got {self.retry_limit}"
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
@@ -145,6 +180,73 @@ class StreamingConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Fault-tolerance knobs (the ``config.recovery`` slice).
+
+    Consumed by :class:`repro.distributed.recovery.RecoveryManager` when
+    training runs on the multiproc backend with ``recoverable=True``.
+    Like the serving/streaming slices, no preprocessing stage fingerprints
+    it — turning recovery on or off reuses every cached artifact.
+
+    Attributes
+    ----------
+    enabled:
+        Drive training through the recovery manager (epoch-boundary
+        checkpoints; on a worker failure, respawn the failed ranks and
+        replay the interrupted epoch from the last checkpoint).
+    max_restarts:
+        Total recovery budget for one training run; the failure that
+        exhausts it tears the cluster down and re-raises machine-attributed.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff between detection and respawn: attempt ``i``
+        sleeps ``min(max, base * factor**i)``, jittered.
+    jitter:
+        Fractional backoff jitter in ``[0, 1)``; the draw is deterministic
+        in ``(seed, attempt)`` so recovery timing is reproducible.
+    checkpoint_interval:
+        Epochs between checkpoints (1 = every epoch boundary).  Replay
+        restarts from the newest checkpoint, so a larger interval trades
+        checkpoint cost against replay length.
+    """
+
+    enabled: bool = False
+    max_restarts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.25
+    checkpoint_interval: int = 1
+
+    def validate(self) -> "RecoveryConfig":
+        """Fail fast on malformed recovery knobs; returns ``self``."""
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.backoff_base_s <= 0:
+            raise ValueError(
+                f"backoff_base_s must be positive, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1 epoch, got "
+                f"{self.checkpoint_interval}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Configuration of one system variant on one cluster.
 
@@ -203,6 +305,11 @@ class RunConfig:
     # repro.graph.mutable / repro.vip.incremental).  Serving- and
     # continual-training-time only, so also outside stage fingerprints.
     streaming: StreamingConfig = field(default_factory=StreamingConfig)
+
+    # Fault tolerance (checkpoint/replay recovery on the multiproc backend;
+    # see repro.distributed.recovery).  Training-runtime only — outside
+    # every stage fingerprint.
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     # Substrate.
     partitioner: str = "metis"              # see repro.partition.PARTITIONERS
@@ -319,6 +426,12 @@ class RunConfig:
             )
         self.serving.validate()
         self.streaming.validate()
+        self.recovery.validate()
+        if self.recovery.enabled and self.backend != "multiproc":
+            raise ValueError(
+                "recovery.enabled requires backend='multiproc' (the "
+                "in-process simulator has no worker processes to lose)"
+            )
         return self
 
     def resolve(self, dataset) -> "RunConfig":

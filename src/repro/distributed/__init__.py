@@ -53,11 +53,18 @@ from repro.distributed.executor import (
     InProcessBackend,
     StepRecord,
 )
+from repro.distributed.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.distributed.multiproc import (  # must import after executor
     WORKER_POOL,
     MultiprocBackend,
     WorkerFailedError,
     WorkerPool,
+)
+from repro.distributed.recovery import (
+    RecoveryManager,
+    RecoveryPolicy,
+    load_checkpoint,
+    save_checkpoint,
 )
 from repro.distributed.shm_plane import (
     GradientPlane,
@@ -77,6 +84,13 @@ __all__ = [
     "WorkerFailedError",
     "WorkerPool",
     "WORKER_POOL",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "load_checkpoint",
+    "save_checkpoint",
     "GradientPlane",
     "GradSlab",
     "SlabLayout",

@@ -105,6 +105,7 @@ import numpy as np
 from repro.distributed.cluster import CLUSTER_BACKENDS, ClusterBackend
 from repro.distributed.comm import CommLedger, gradient_nbytes
 from repro.distributed.engine import PrefetchIterator, train_batch
+from repro.distributed.faults import FaultPlan
 from repro.distributed.executor import EpochReport, StepRecord, _candidate_edges
 from repro.distributed.feature_store import (
     FetchPlan,
@@ -140,8 +141,12 @@ DIGEST_HEAD = 6
 class WorkerFailedError(RuntimeError):
     """A worker process died, hung, or violated the wire protocol.
 
-    Raised by the coordinator *after* it has shut the whole cluster down
-    (no orphan processes, no leaked shared-memory segments remain).
+    On a fail-fast backend (the default), raised by the coordinator *after*
+    it has shut the whole cluster down (no orphan processes, no leaked
+    shared-memory segments remain).  On a ``recoverable=True`` backend the
+    cluster is left standing in a faulted state instead — call
+    :meth:`MultiprocBackend.recover` to replace the failed ranks, or
+    :meth:`~MultiprocBackend.close` to tear down.
     """
 
     def __init__(self, message: str, machine: Optional[int] = None):
@@ -195,9 +200,11 @@ class WorkerSpec:
     cache_ids: np.ndarray
     #: "feat0".."featK-1", "indptr", "indices", "labels", "grads"
     segments: Dict[str, SegmentSpec]
-    #: Fault injection: ``(epoch, step)`` at which this worker hard-exits
-    #: (``os._exit``) mid-epoch, before reporting the step.  Test-only.
-    fail_at: Optional[Tuple[int, int]] = None
+    #: Chaos injection: this machine's slice of the backend's
+    #: :class:`~repro.distributed.faults.FaultPlan` (kill / hang / corrupt /
+    #: torn at an ``(epoch, step)`` point).  Excluded from the cluster
+    #: fingerprint — faults are a property of one run, not of the workers.
+    faults: Tuple = ()
 
 
 _SPEC_SCALAR_FIELDS = (
@@ -218,7 +225,7 @@ def _encode_spec(spec: WorkerSpec) -> dict:
         key: {"name": seg.name, "shape": tuple(seg.shape), "dtype": seg.dtype}
         for key, seg in spec.segments.items()
     }
-    out["fail_at"] = None if spec.fail_at is None else tuple(spec.fail_at)
+    out["faults"] = FaultPlan(spec.faults).encode()
     return out
 
 
@@ -231,12 +238,10 @@ def _decode_spec(fields) -> WorkerSpec:
                              dtype=seg["dtype"])
             for key, seg in fields["segments"].items()
         }
-        fail_at = fields["fail_at"]
         return WorkerSpec(
             fanouts=tuple(fields["fanouts"]),
             segments=segments,
-            fail_at=None if fail_at is None else
-            (int(fail_at[0]), int(fail_at[1])),
+            faults=tuple(FaultPlan.decode(fields["faults"])),
             **{name: fields[name]
                for name in _SPEC_SCALAR_FIELDS + _SPEC_ARRAY_FIELDS},
         )
@@ -250,13 +255,17 @@ def _cluster_fingerprint(specs: List[WorkerSpec]) -> str:
     Two backends whose spec lists hash equal would bind byte-identical
     runtimes, so their workers are interchangeable — the warm pool's key.
     Segment *names* are excluded (random per backend; contents are re-
-    attached at bind time); segment shapes/dtypes, every seed, every id
-    array, and every hyperparameter are included.
+    attached at bind time), as is the fault schedule (a parked worker holds
+    no spec, so a recovered cluster's workers are as generic as any);
+    segment shapes/dtypes, every seed, every id array, and every
+    hyperparameter are included.
     """
     h = hashlib.sha256()
     for spec in specs:
         enc = _encode_spec(spec)
         for key in sorted(enc):
+            if key == "faults":
+                continue
             val = enc[key]
             h.update(key.encode("utf8"))
             if key == "segments":
@@ -437,19 +446,28 @@ def _attach_segment(spec: SegmentSpec):
 # worker process
 # ----------------------------------------------------------------------
 
+class _EpochAborted(Exception):
+    """Coordinator told this worker to abandon the in-flight epoch (another
+    machine faulted); unwind to the command loop and acknowledge."""
+
+
 class _WorkerRuntime:
     """One machine's runtime inside its worker process."""
 
     def __init__(self, spec: WorkerSpec, conn):
         import repro.pipeline.events  # noqa: F401 — warm run_epoch's lazy import
         from repro.graph.csr import CSRGraph
-        from repro.nn.models import build_model
-        from repro.nn.optim import Adam
-        from repro.sampling.neighbor import NeighborSampler
 
         self.spec = spec
         self.conn = conn
         k, K = spec.machine, spec.num_machines
+
+        # Chaos state: scheduled faults not yet fired, plus the two flags
+        # the deferred kinds arm (corrupt poisons the next outgoing message,
+        # torn leaves the slab seqlock odd after the step's publish).
+        self._pending_faults = list(spec.faults)
+        self._corrupt_next = False
+        self._torn_steps = set()
 
         # Attach every data segment; keep the SharedMemory objects alive
         # while the runtime exists (views borrow their buffers).  The
@@ -496,18 +514,7 @@ class _WorkerRuntime:
         self.store = PartitionedFeatureStore(stores, part_map, dim,
                                              feat_dtype.itemsize)
 
-        # Seeding mirrors DistributedTrainer exactly: the sampler stream
-        # seed is this machine's machine_stream_seed (spawn-order
-        # independent), the model seed is shared by every replica
-        # (identical initial weights, no broadcast needed).
-        self.sampler = NeighborSampler(self.graph, spec.fanouts,
-                                       seed=spec.sampler_seed)
-        self.model = build_model(
-            spec.arch, dim, spec.hidden_dim, spec.num_classes,
-            len(spec.fanouts), dropout=spec.dropout,
-            seed=spec.model_seed,
-        )
-        self.optimizer = Adam(self.model.parameters(), lr=spec.lr)
+        self._init_training_state()
         self.degrees = self.graph.degrees
         self.arena = GatherArena()
         self.dims = (dim, spec.hidden_dim, spec.num_classes)
@@ -527,6 +534,80 @@ class _WorkerRuntime:
             self._my_slab = self.grad_plane.worker_slabs[k]
             self._avg_slab = self.grad_plane.avg_slab
             self._avg_bufs = [np.empty_like(p) for p in params]
+
+    def _init_training_state(self) -> None:
+        """(Re)build the sampler/model/optimizer at epoch-0 initial state.
+
+        Seeding mirrors DistributedTrainer exactly: the sampler stream seed
+        is this machine's ``machine_stream_seed`` (spawn-order independent),
+        the model seed is shared by every replica (identical initial
+        weights, no broadcast needed).  Called at bind time and again on a
+        ``restore`` with no checkpoint — replaying epoch 0 after a fault
+        needs exactly the bind-time state back.
+        """
+        from repro.nn.models import build_model
+        from repro.nn.optim import Adam
+
+        from repro.sampling.neighbor import NeighborSampler
+
+        spec = self.spec
+        self.sampler = NeighborSampler(self.graph, spec.fanouts,
+                                       seed=spec.sampler_seed)
+        self.model = build_model(
+            spec.arch, spec.feature_dim, spec.hidden_dim, spec.num_classes,
+            len(spec.fanouts), dropout=spec.dropout,
+            seed=spec.model_seed,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=spec.lr)
+
+    def _rng_modules(self) -> list:
+        """Every submodule owning a ``_rng`` stream (Dropout layers), in
+        deterministic registration order — the checkpoint captures and
+        restores their cursors positionally."""
+        out = []
+
+        def walk(mod):
+            if getattr(mod, "_rng", None) is not None:
+                out.append(mod)
+            for child in mod._modules.values():
+                walk(child)
+
+        walk(self.model)
+        return out
+
+    def capture_state(self) -> dict:
+        """Wire-encodable snapshot of everything that advances per step:
+        model weights, Adam moments, and every RNG cursor (sampler +
+        dropout streams).  Taken at an epoch boundary, this is sufficient
+        to replay the next epoch bit-identically."""
+        return {
+            "model": dict(self.model.state_dict()),
+            "adam": self.optimizer.state_dict(),
+            "sampler": self.sampler.rng_state(),
+            "layer_rngs": [repr(m._rng.bit_generator.state)
+                           for m in self._rng_modules()],
+        }
+
+    def restore_state(self, payload) -> None:
+        """Load a :meth:`capture_state` snapshot (``None`` → epoch-0 fresh
+        state).  RNG states travel as ``repr`` strings because PCG64
+        cursors are 128-bit ints, beyond the wire's 64-bit range."""
+        import ast
+
+        if payload is None:
+            self._init_training_state()
+            return
+        self.model.load_state_dict(payload["model"])
+        self.optimizer.load_state_dict(payload["adam"])
+        self.sampler.set_rng_state(payload["sampler"])
+        rng_mods = self._rng_modules()
+        states = payload["layer_rngs"]
+        if len(states) != len(rng_mods):
+            raise RuntimeError(
+                f"checkpoint has {len(states)} layer RNG streams, model "
+                f"has {len(rng_mods)}")
+        for mod, state in zip(rng_mods, states):
+            mod._rng.bit_generator.state = ast.literal_eval(state)
 
     def release(self) -> None:
         """Drop every view into shared memory and close the attachments —
@@ -551,7 +632,16 @@ class _WorkerRuntime:
 
     # -- protocol ------------------------------------------------------
     def send(self, kind: str, payload) -> None:
-        self.conn.send_bytes(pack_message(kind, payload))
+        data = pack_message(kind, payload)
+        if self._corrupt_next:
+            # Armed by a "corrupt" fault: flip the last payload byte (just
+            # inside the CRC32 trailer) so the frame is well-formed but its
+            # checksum is wrong — the coordinator must reject, not decode.
+            self._corrupt_next = False
+            torn = bytearray(data)
+            torn[-5] ^= 0xFF
+            data = bytes(torn)
+        self.conn.send_bytes(data)
 
     def recv(self) -> Tuple[str, object]:
         return unpack_message(self.conn.recv_bytes())
@@ -587,9 +677,17 @@ class _WorkerRuntime:
         step the optimizer — the token-only replacement for shipping
         gradient arrays both ways."""
         self._my_slab.write(self._grads(), step)
+        if step in self._torn_steps:
+            # "torn" fault: re-enter a write (seqlock odd) after the
+            # publish, then report the step anyway — the coordinator's
+            # average() must see the in-flight write and attribute it here.
+            self._torn_steps.discard(step)
+            self._my_slab.begin_write()
         self.send("step" if self.spec.engine == "bsp" else "wstep",
                   {"step": step})
         kind, payload = self.recv()
+        if kind == "abort":
+            raise _EpochAborted
         if kind != "avg":
             raise RuntimeError(f"expected avg, got {kind!r}")
         if payload["step"] != step:
@@ -601,15 +699,25 @@ class _WorkerRuntime:
             p.grad = g
         self.optimizer.step()
 
-    def _maybe_fail(self, epoch: int, step_lo: int, step_hi: int) -> None:
-        fail = self.spec.fail_at
-        if fail is not None and fail[0] == epoch and step_lo <= fail[1] < step_hi:
-            os._exit(13)  # simulated hard crash (no cleanup, no goodbye)
+    def _inject_faults(self, epoch: int, step_lo: int, step_hi: int) -> None:
+        """Fire any scheduled fault whose injection point falls in this
+        epoch's ``[step_lo, step_hi)`` (a single step for bsp, a window for
+        pipelined).  Each fault fires at most once."""
+        for fault in list(self._pending_faults):
+            if fault.epoch != epoch or not step_lo <= fault.step < step_hi:
+                continue
+            self._pending_faults.remove(fault)
+            if fault.kind == "kill":
+                os._exit(13)  # simulated hard crash (no cleanup, no goodbye)
+            elif fault.kind == "hang":
+                time.sleep(fault.duration_s)  # wedged past any timeout_s
+            elif fault.kind == "corrupt":
+                self._corrupt_next = True
+            elif fault.kind == "torn":
+                self._torn_steps.add(fault.step)
 
     def run_epoch(self, epoch: int, dry_run: bool,
                   trace_ctx: Optional[dict] = None) -> None:
-        from repro.pipeline.events import emit_step_events
-
         spec = self.spec
         k = spec.machine
         if trace_ctx:
@@ -626,40 +734,17 @@ class _WorkerRuntime:
         records: List[StepRecord] = []
         digests: List[np.ndarray] = []
         owner_of = self.store.reordered.owner_of
-        with OBS.span("worker.epoch", parent_id=parent, machine=k,
-                      epoch=epoch, engine=spec.engine, dry_run=dry_run):
-            if spec.engine == "bsp":
-                iterator = self._batches(epoch)
-                for step in range(spec.steps_per_epoch):
-                    with OBS.span("worker.step", step=step,
-                                  hist="worker.step_wall_s"):
-                        mfg = next(iterator)
-                        plan = self.store.plan_gather(k, mfg.n_id)
-                        feats, stats = self.store.execute(
-                            plan, out=self.arena.out((k, 0), len(mfg.n_id),
-                                                     spec.feature_dim,
-                                                     feats_dtype(self)),
-                        )
-                        self._maybe_fail(epoch, step, step + 1)
-                        loss = None
-                        if not dry_run:
-                            loss = train_batch(self.model, feats, mfg,
-                                               self.labels[mfg.seeds])
-                        rec = self._make_record(step, mfg, stats, loss)
-                        records.append(rec)
-                        digests.append(
-                            _plan_digest(plan, owner_of, spec.num_machines))
-                        emit_step_events(events, rec, 0, self.dims,
-                                         window_start=step)
-                        if dry_run:
-                            self.send("step", {"step": step})
-                        else:
-                            self._sync_step(step)
-            elif spec.engine == "pipelined":
-                self._run_pipelined_epoch(epoch, dry_run, events, records,
-                                          digests)
-            else:  # pragma: no cover - validated coordinator-side
-                raise RuntimeError(f"unsupported engine {spec.engine!r}")
+        try:
+            self._run_epoch_body(epoch, dry_run, parent, events, records,
+                                 digests, owner_of)
+        except _EpochAborted:
+            # Another machine faulted; the coordinator is quiescing the
+            # cluster.  Drop the partial epoch (a later "restore" rewinds
+            # the training state) and acknowledge.
+            if trace_ctx:
+                OBS.disable()
+            self.send("aborted", {"machine": k})
+            return
 
         state = None
         if not dry_run:
@@ -679,6 +764,47 @@ class _WorkerRuntime:
             done["metrics"] = OBS.metrics.snapshot()
             OBS.disable()
         self.send("done", done)
+
+    def _run_epoch_body(self, epoch: int, dry_run: bool, parent, events,
+                        records: list, digests: list, owner_of) -> None:
+        from repro.pipeline.events import emit_step_events
+
+        spec = self.spec
+        k = spec.machine
+        with OBS.span("worker.epoch", parent_id=parent, machine=k,
+                      epoch=epoch, engine=spec.engine, dry_run=dry_run):
+            if spec.engine == "bsp":
+                iterator = self._batches(epoch)
+                for step in range(spec.steps_per_epoch):
+                    with OBS.span("worker.step", step=step,
+                                  hist="worker.step_wall_s"):
+                        mfg = next(iterator)
+                        plan = self.store.plan_gather(k, mfg.n_id)
+                        feats, stats = self.store.execute(
+                            plan, out=self.arena.out((k, 0), len(mfg.n_id),
+                                                     spec.feature_dim,
+                                                     feats_dtype(self)),
+                        )
+                        self._inject_faults(epoch, step, step + 1)
+                        loss = None
+                        if not dry_run:
+                            loss = train_batch(self.model, feats, mfg,
+                                               self.labels[mfg.seeds])
+                        rec = self._make_record(step, mfg, stats, loss)
+                        records.append(rec)
+                        digests.append(
+                            _plan_digest(plan, owner_of, spec.num_machines))
+                        emit_step_events(events, rec, 0, self.dims,
+                                         window_start=step)
+                        if dry_run:
+                            self.send("step", {"step": step})
+                        else:
+                            self._sync_step(step)
+            elif spec.engine == "pipelined":
+                self._run_pipelined_epoch(epoch, dry_run, events, records,
+                                          digests)
+            else:  # pragma: no cover - validated coordinator-side
+                raise RuntimeError(f"unsupported engine {spec.engine!r}")
 
     def _run_pipelined_epoch(self, epoch: int, dry_run: bool, events,
                              records: list, digests: list) -> None:
@@ -709,7 +835,7 @@ class _WorkerRuntime:
                                          feats_dtype(self))
                           for i, p in enumerate(plans)],
                 )
-                self._maybe_fail(epoch, w0, w1)
+                self._inject_faults(epoch, w0, w1)
                 recs = [self._make_record(s, mfgs[i], results[i][1], None)
                         for i, s in enumerate(range(w0, w1))]
                 records.extend(recs)
@@ -787,6 +913,22 @@ def _worker_main(conn) -> None:
                     raise RuntimeError("run received before bind")
                 runtime.run_epoch(payload["epoch"], payload["dry_run"],
                                   payload.get("trace"))
+            elif kind == "abort":
+                # Recovery quiesce reached an already-idle worker (its
+                # epoch finished, or it never started one): nothing to
+                # unwind, acknowledge immediately.
+                machine = None if runtime is None else runtime.spec.machine
+                conn.send_bytes(pack_message("aborted", {"machine": machine}))
+            elif kind == "ckpt":
+                if runtime is None:
+                    raise RuntimeError("ckpt received before bind")
+                conn.send_bytes(pack_message("state", runtime.capture_state()))
+            elif kind == "restore":
+                if runtime is None:
+                    raise RuntimeError("restore received before bind")
+                runtime.restore_state(payload)
+                conn.send_bytes(pack_message(
+                    "restored", {"machine": runtime.spec.machine}))
             else:
                 raise RuntimeError(f"unexpected coordinator message {kind!r}")
     except (EOFError, BrokenPipeError, OSError):
@@ -825,12 +967,16 @@ class WorkerPool:
 
     def __init__(self):
         self._clusters: Dict[str, List[list]] = {}
+        # Loose parked workers left over when recovery broke a cluster up
+        # for a single-rank replacement; same fingerprint key.
+        self._spares: Dict[str, list] = {}
 
     @property
     def num_parked(self) -> int:
         """Total parked worker processes across all fingerprints."""
         return sum(len(workers) for stack in self._clusters.values()
-                   for workers in stack)
+                   for workers in stack) \
+            + sum(len(v) for v in self._spares.values())
 
     def park(self, key: str, workers: list) -> None:
         self._clusters.setdefault(key, []).append(list(workers))
@@ -848,11 +994,38 @@ class WorkerPool:
         self._clusters.pop(key, None)
         return None
 
+    def acquire_spare(self, key: str):
+        """Pop one live parked worker for ``key`` — recovery's warm path.
+
+        Prefers a loose spare; otherwise breaks up a parked cluster of the
+        same fingerprint (the remainder becomes spares — parked workers
+        are generic, so any of them can be rebound as any rank).  Returns
+        a ``(process, conn)`` pair or ``None``.
+        """
+        spares = self._spares.get(key, [])
+        while spares:
+            proc, conn = spares.pop()
+            if not spares:
+                self._spares.pop(key, None)
+            if proc.is_alive():
+                return proc, conn
+            self._dispose([(proc, conn)])
+        cluster = self.acquire(key)
+        if cluster is None:
+            return None
+        taken = cluster.pop()
+        if cluster:
+            self._spares.setdefault(key, []).extend(cluster)
+        return taken
+
     def clear(self) -> None:
         for stack in self._clusters.values():
             for workers in stack:
                 self._dispose(workers)
         self._clusters.clear()
+        for spares in self._spares.values():
+            self._dispose(spares)
+        self._spares.clear()
 
     @staticmethod
     def _dispose(workers: list) -> None:
@@ -943,8 +1116,22 @@ class MultiprocBackend(ClusterBackend):
         contract the fault suite asserts).  Mutable attribute; fault-
         injected or mid-epoch clusters are never parked regardless.
     fault_injection:
-        Test hook: ``{machine: (epoch, step)}`` hard-kills the machine's
-        worker mid-epoch at that point.
+        Legacy chaos hook: ``{machine: (epoch, step)}`` hard-kills the
+        machine's worker mid-epoch at that point — sugar for a kill-only
+        ``faults`` plan.
+    faults:
+        A :class:`~repro.distributed.faults.FaultPlan` scheduling kill /
+        hang / corrupt / torn faults on specific machines at specific
+        ``(epoch, step)`` points; validated against the cluster shape at
+        :meth:`start`.
+    recoverable:
+        With this set, a worker failure *mid-epoch* marks the backend
+        faulted instead of tearing the cluster down; :meth:`recover`
+        replaces the failed ranks (warm spares when the pool has matching
+        workers), quiesces the survivors and the gradient plane, and
+        restores a :meth:`capture_checkpoint` snapshot so the interrupted
+        epoch can be replayed bit-identically.  Off by default — fail-stop
+        teardown remains the contract for everyone else.
 
     Wire accounting: :attr:`wire_sent` / :attr:`wire_received` map message
     kind to ``[message_count, total_bytes]`` — the regression test for
@@ -955,7 +1142,9 @@ class MultiprocBackend(ClusterBackend):
 
     def __init__(self, system, *, timeout_s: float = 120.0,
                  keep_warm: bool = False,
-                 fault_injection: Optional[Dict[int, Tuple[int, int]]] = None):
+                 fault_injection: Optional[Dict[int, Tuple[int, int]]] = None,
+                 faults: Optional[FaultPlan] = None,
+                 recoverable: bool = False):
         super().__init__(system)
         store = system.trainer.store
         engine = system.config.engine
@@ -977,6 +1166,18 @@ class MultiprocBackend(ClusterBackend):
         self.timeout_s = float(timeout_s)
         self.keep_warm = bool(keep_warm)
         self.fault_injection = dict(fault_injection or {})
+        self.fault_plan = FaultPlan(
+            list(FaultPlan.from_kill_points(self.fault_injection))
+            + list(faults or ()))
+        self.recoverable = bool(recoverable)
+        #: Ranks whose workers faulted in the current (unrecovered) episode.
+        self._faulted_machines: set = set()
+        self._faulted = False
+        self._recovered = False
+        self._in_recovery = False
+        self._epoch_active = False
+        #: Cumulative count of ranks replaced by :meth:`recover`.
+        self.restarts_total = 0
         self._started = False
         self._closing = False
         self._idle = True
@@ -1021,6 +1222,8 @@ class MultiprocBackend(ClusterBackend):
             return
         tr = self.system.trainer
         K = tr.num_machines
+        self.fault_plan.validate(num_machines=K,
+                                 steps_per_epoch=tr.steps_per_epoch())
         prefix = f"rpmp{secrets.token_hex(4)}"
         ctx = get_context("spawn")
 
@@ -1081,7 +1284,7 @@ class MultiprocBackend(ClusterBackend):
                     cache_ids=np.asarray(tr.store.stores[k].cache_ids,
                                          dtype=np.int64),
                     segments=specs,
-                    fail_at=self.fault_injection.get(k),
+                    faults=tuple(self.fault_plan.for_machine(k)),
                 )
                 self.worker_specs.append(spec)
             self._pool_key = _cluster_fingerprint(self.worker_specs)
@@ -1098,13 +1301,7 @@ class MultiprocBackend(ClusterBackend):
                     self._conns.append(conn)
             else:
                 for k in range(K):
-                    parent, child = ctx.Pipe(duplex=True)
-                    proc = ctx.Process(target=_worker_main, args=(child,),
-                                       daemon=True,
-                                       name=f"repro-mp-worker-{k}")
-                    with _spawn_safe_main():
-                        proc.start()
-                    child.close()
+                    proc, parent = self._spawn_worker(k)
                     self._procs.append(proc)
                     self._conns.append(parent)
 
@@ -1136,12 +1333,30 @@ class MultiprocBackend(ClusterBackend):
             self.close()
             raise
 
+    @staticmethod
+    def _spawn_worker(k: int):
+        """Spawn one generic worker; returns ``(process, parent_conn)``."""
+        ctx = get_context("spawn")
+        parent, child = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=_worker_main, args=(child,),
+                           daemon=True, name=f"repro-mp-worker-{k}")
+        with _spawn_safe_main():
+            proc.start()
+        child.close()
+        return proc, parent
+
     def close(self) -> None:
         """Stop (or park, with :attr:`keep_warm`) the workers and release
         every runtime resource; idempotent."""
         if not self._closing:
             self._closing = True
-            if (self.keep_warm and not self.fault_injection
+            # Parkable: clean, idle, and either never fault-scheduled or
+            # fully recovered.  A faulted-unrecovered cluster (or one whose
+            # plan never fired) is torn down — the fault suite's teardown
+            # contract — while a recovered-then-clean cluster is as generic
+            # as any (parked workers hold no spec, let alone a fault).
+            if (self.keep_warm and not self._faulted
+                    and (self._recovered or not self.fault_plan)
                     and self._idle and self.is_live):
                 try:
                     self._park_to_pool()
@@ -1246,12 +1461,20 @@ class MultiprocBackend(ClusterBackend):
         entry[1] += nbytes
 
     def _fail(self, machine: Optional[int], why: str) -> None:
+        message = f"worker {machine}: {why}" if machine is not None else why
+        if (self.recoverable and machine is not None and self._epoch_active
+                and not self._in_recovery and not self._closing):
+            # Recoverable mode: mark the rank faulted and surface the error
+            # without teardown — the cluster stays up (segments, survivors,
+            # pipes) so recover() can replace just this rank and replay.
+            self._faulted = True
+            self._faulted_machines.add(machine)
+            if OBS.enabled:
+                OBS.metrics.counter("mp.faults_detected").inc()
+            raise WorkerFailedError(message, machine=machine)
         self._closing = True  # a failed cluster is never parked
         self.close()
-        raise WorkerFailedError(
-            f"worker {machine}: {why}" if machine is not None else why,
-            machine=machine,
-        )
+        raise WorkerFailedError(message, machine=machine)
 
     def _send(self, k: int, kind: str, payload) -> None:
         data = pack_message(kind, payload)
@@ -1274,7 +1497,7 @@ class MultiprocBackend(ClusterBackend):
                 self._conn_open[j] = False
                 return
             try:
-                kind, payload = unpack_message(data)
+                kind, payload = unpack_message(data, machine=j)
             except WireError as exc:
                 self._fail(j, f"malformed message: {exc}")
             self._count(self.wire_received, kind, len(data))
@@ -1317,6 +1540,10 @@ class MultiprocBackend(ClusterBackend):
             # make progress without it, and waiting for machine k while
             # machine j is gone would only time out later.
             for j in range(len(self._procs)):
+                if j in self._faulted_machines:
+                    # Already-reaped rank (recovery in progress): its dead
+                    # process must not fail the survivors' quiesce drain.
+                    continue
                 if self._inboxes[j]:
                     continue
                 if not self._procs[j].is_alive():
@@ -1391,12 +1618,217 @@ class MultiprocBackend(ClusterBackend):
                 self._fail(k, f"step {s}: fetch-plan digest disagrees with "
                               f"reported gather stats")
 
+    # -- recovery ------------------------------------------------------
+    def _cache_fingerprint(self) -> str:
+        """Hash of every machine's static cache selection — recorded in
+        checkpoints so a snapshot can never be restored into a cluster
+        whose resident cache contents differ."""
+        h = hashlib.sha256()
+        for spec in self.worker_specs:
+            ids = np.ascontiguousarray(np.asarray(spec.cache_ids,
+                                                  dtype=np.int64))
+            h.update(ids.tobytes())
+        return h.hexdigest()
+
+    def capture_checkpoint(self, epoch: int) -> dict:
+        """Snapshot the cluster's training state at an epoch boundary.
+
+        Asks every worker for its model weights, Adam moments, and RNG
+        cursors (sampler + dropout streams).  Weights and moments are
+        identical across replicas after the allreduce, so one copy is
+        kept; RNG cursors are per machine.  The result is plain data —
+        wire-encodable, and persistable through the ArtifactCache's
+        ``checkpoint`` codec (:mod:`repro.distributed.recovery`).
+        """
+        if not self.is_live:
+            raise RuntimeError("cannot checkpoint a closed backend")
+        if self._faulted:
+            raise RuntimeError("cannot checkpoint a faulted backend — "
+                               "recover() first")
+        K = self.system.trainer.num_machines
+        with OBS.span("mp.checkpoint", epoch=epoch):
+            for k in range(K):
+                self._send(k, "ckpt", None)
+            states = []
+            for k in range(K):
+                payload = self._expect(k, "state")
+                if not isinstance(payload, dict):
+                    self._fail(k, "malformed checkpoint state payload")
+                states.append(payload)
+        return {
+            "epoch": int(epoch),
+            "model": states[0]["model"],
+            "adam": states[0]["adam"],
+            "samplers": [s["sampler"] for s in states],
+            "layer_rngs": [s["layer_rngs"] for s in states],
+            "cache_fp": self._cache_fingerprint(),
+        }
+
+    def _restore_all(self, checkpoint: Optional[dict]) -> None:
+        """Send every rank its slice of ``checkpoint`` (``None`` rewinds to
+        epoch-0 initial state) and wait for the ``restored`` acks."""
+        K = len(self._procs)
+        for k in range(K):
+            payload = None
+            if checkpoint is not None:
+                payload = {
+                    "model": checkpoint["model"],
+                    "adam": checkpoint["adam"],
+                    "sampler": checkpoint["samplers"][k],
+                    "layer_rngs": checkpoint["layer_rngs"][k],
+                }
+            self._send(k, "restore", payload)
+        for k in range(K):
+            self._expect_token(k, "restored", "machine", k)
+
+    def recover(self, checkpoint: Optional[dict] = None) -> int:
+        """Replace the failed ranks and rewind the cluster to ``checkpoint``.
+
+        The recovery sequence: (1) reap every faulted rank's process (it
+        may be alive — hung, or having corrupted its wire stream — so the
+        kill is unconditional); (2) quiesce the survivors with an ``abort``
+        and drain their stale in-flight traffic; (3) reset the gradient
+        plane's seqlock slabs; (4) bind a replacement for each failed rank
+        — a warm spare from :data:`WORKER_POOL` when one of this cluster's
+        fingerprint is parked, a fresh spawn otherwise — with the fault
+        schedule cleared (a replayed fault would re-fire identically and
+        recovery would never converge); (5) restore every rank from
+        ``checkpoint`` (``None`` rewinds to epoch-0 initial state).
+
+        Returns the number of ranks replaced (0 if the backend never
+        faulted).  Any failure *during* recovery escalates to full
+        teardown and raises — recovery is attempted at most once per call.
+        """
+        if not self._started or not self.is_live:
+            raise RuntimeError("cannot recover a closed backend")
+        if checkpoint is not None \
+                and checkpoint.get("cache_fp") is not None \
+                and checkpoint["cache_fp"] != self._cache_fingerprint():
+            self._closing = True
+            self.close()
+            raise WorkerFailedError(
+                "checkpoint cache fingerprint does not match this "
+                "cluster's cache selection")
+        if not self._faulted:
+            # Warm start: a healthy cluster adopting a persisted checkpoint
+            # (load_persisted) — nothing to respawn, but every rank still
+            # rewinds to the snapshot.
+            if checkpoint is not None:
+                self._restore_all(checkpoint)
+            return 0
+        self._in_recovery = True
+        try:
+            K = len(self._procs)
+            with OBS.span("mp.recovery", machines=K,
+                          hist="mp.recovery_wall_s"):
+                # Every rank marked faulted, plus any other process found
+                # dead (a second failure noticed late), gets replaced.
+                failed = set(self._faulted_machines)
+                for j, proc in enumerate(self._procs):
+                    if not proc.is_alive():
+                        failed.add(j)
+                self._faulted_machines = set(failed)
+
+                for j in sorted(failed):
+                    proc = self._procs[j]
+                    for escalate in ("terminate", "kill"):
+                        if not proc.is_alive():
+                            break
+                        try:
+                            getattr(proc, escalate)()
+                            proc.join(timeout=5.0)
+                        except Exception:
+                            pass
+                    try:
+                        self._conns[j].close()
+                    except Exception:
+                        pass
+                    self._conn_open[j] = False
+                    self._inboxes[j].clear()
+
+                survivors = [k for k in range(K) if k not in failed]
+                for k in survivors:
+                    self._send(k, "abort", None)
+                deadline = time.monotonic() + self.timeout_s
+                for k in survivors:
+                    # Discard whatever the aborted epoch still had in
+                    # flight (step/window/done tokens) up to the ack.
+                    while True:
+                        kind, _payload = self._recv(k, deadline=deadline)
+                        if kind == "aborted":
+                            break
+
+                self._grad_plane.reset()
+
+                warm = 0
+                fresh_ranks = []
+                for j in sorted(failed):
+                    spare = (WORKER_POOL.acquire_spare(self._pool_key)
+                             if self._pool_key else None)
+                    if spare is not None:
+                        proc, conn = spare
+                        warm += 1
+                    else:
+                        proc, conn = self._spawn_worker(j)
+                        fresh_ranks.append(j)
+                    # In-place rank replacement: the finalizer holds these
+                    # same list objects, so the new process is covered by
+                    # the exit-time cleanup like any other.
+                    self._procs[j] = proc
+                    self._conns[j] = conn
+                    self._inboxes[j] = deque()
+                    self._conn_open[j] = True
+                ready_deadline = time.monotonic() + _READY_TIMEOUT_S
+                for j in fresh_ranks:
+                    kind, _payload = self._recv(j, deadline=ready_deadline)
+                    if kind != "ready":
+                        self._fail(j, f"expected ready handshake, "
+                                      f"got {kind!r}")
+                for j in sorted(failed):
+                    enc = _encode_spec(self.worker_specs[j])
+                    enc["faults"] = []
+                    self._send(j, "bind", enc)
+                for j in sorted(failed):
+                    kind, payload = self._recv(j, deadline=ready_deadline)
+                    if kind != "bound":
+                        self._fail(j, f"expected bound handshake, "
+                                      f"got {kind!r}")
+                    if not isinstance(payload, dict) \
+                            or payload.get("machine") != j:
+                        self._fail(j, "bound handshake reported the "
+                                      "wrong machine")
+
+                self._restore_all(checkpoint)
+
+                self.restarts_total += len(failed)
+                if OBS.enabled:
+                    OBS.metrics.counter("mp.restarts_total").inc(len(failed))
+                    if warm:
+                        OBS.metrics.counter("mp.warm_respawns").inc(warm)
+                self._faulted = False
+                self._faulted_machines.clear()
+                self._recovered = True
+                return len(failed)
+        except WorkerFailedError:
+            raise  # _fail is fatal during recovery — cluster already down
+        except Exception:
+            self._closing = True
+            self.close()
+            raise
+        finally:
+            self._in_recovery = False
+
     # -- epochs --------------------------------------------------------
     def run_epoch(self, epoch: int, *, dry_run: bool = False) -> EpochReport:
         if self._started and not self.is_live:
             raise RuntimeError("multiproc backend is closed")
+        if self._faulted:
+            raise RuntimeError(
+                "multiproc backend is faulted — call recover() to replace "
+                "the failed ranks before running another epoch")
         self.start()
         self._idle = False
+        self._epoch_active = True
         try:
             with OBS.span("mp.epoch", epoch=epoch, dry_run=dry_run,
                           engine=self.system.config.engine,
@@ -1413,6 +1845,7 @@ class MultiprocBackend(ClusterBackend):
             self.close()
             raise
         finally:
+            self._epoch_active = False
             self._epoch_span_id = 0
         if OBS.enabled:
             self._note_wire_gauges()

@@ -1,0 +1,357 @@
+"""Checkpoint/replay recovery for the multiproc backend.
+
+The multiproc backend's original failure contract was fail-fast: any worker
+death, hang, or protocol violation tore the whole cluster down and raised a
+machine-attributed :class:`~repro.distributed.multiproc.WorkerFailedError`.
+This module adds the other half of fault tolerance — *continuing* — without
+giving up the backend's bit-identity guarantee:
+
+- :class:`RecoveryPolicy` bounds how hard to try (``max_restarts``) and how
+  fast (exponential backoff with deterministic jitter: the jitter draw is a
+  pure function of ``(seed, attempt)``, so recovery timing is reproducible
+  run-to-run like everything else here).
+- :class:`RecoveryManager` drives multi-epoch training on a *recoverable*
+  :class:`~repro.distributed.multiproc.MultiprocBackend`: after every
+  successful epoch it captures an epoch-boundary checkpoint (model and
+  optimizer state, every RNG stream cursor, and a fingerprint of the
+  cluster's cache selection); on a worker failure it backs off, calls
+  :meth:`MultiprocBackend.recover` to respawn only the failed ranks (warm
+  pool first), and replays the interrupted epoch from the last checkpoint.
+  Because the checkpoint restores the exact sampler and dropout stream
+  cursors, the replayed epoch's losses are bit-identical to a fault-free
+  run's.
+- :func:`save_checkpoint` / :func:`load_checkpoint` persist checkpoints
+  through the existing :class:`~repro.core.planner.ArtifactCache` (npz +
+  JSON sidecar, atomic renames, schema-versioned), registering a
+  ``"checkpoint"`` artifact codec on first use.  A run killed outright —
+  coordinator and all — can warm-start from disk.
+
+Every recovery is logged in :attr:`RecoveryManager.recoveries` with its
+detection / backoff / respawn / replay walls, which is what the perf
+harness's ``recovery.mttr`` stage reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.distributed.multiproc import MultiprocBackend, WorkerFailedError
+from repro.obs import OBS
+from repro.utils.rng import as_generator, derive_seed
+
+
+# ----------------------------------------------------------------------
+# Policy.
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How many restarts to attempt and how to pace them.
+
+    Attempt ``i`` (0-based, counted across the whole run) sleeps
+    ``min(backoff_max_s, backoff_base_s * backoff_factor**i)`` scaled by a
+    deterministic jitter in ``[1 - jitter, 1 + jitter]`` before recovering.
+    """
+
+    max_restarts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+    checkpoint_interval: int = 1
+
+    @classmethod
+    def from_config(cls, recovery_config, seed: int = 0) -> "RecoveryPolicy":
+        """Build from a :class:`repro.core.config.RecoveryConfig` slice
+        (the run seed keys the jitter stream)."""
+        return cls(
+            max_restarts=recovery_config.max_restarts,
+            backoff_base_s=recovery_config.backoff_base_s,
+            backoff_factor=recovery_config.backoff_factor,
+            backoff_max_s=recovery_config.backoff_max_s,
+            jitter=recovery_config.jitter,
+            seed=int(seed),
+            checkpoint_interval=recovery_config.checkpoint_interval,
+        ).validate()
+
+    def validate(self) -> "RecoveryPolicy":
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.backoff_base_s <= 0:
+            raise ValueError(
+                f"backoff_base_s must be positive, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1 epoch, got "
+                f"{self.checkpoint_interval}"
+            )
+        return self
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (0-based).  Deterministic in
+        ``(seed, attempt)``: reruns back off identically."""
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** attempt)
+        r = as_generator(derive_seed(self.seed, "recovery-backoff",
+                                     attempt)).random()
+        return base * (1.0 + self.jitter * (2.0 * r - 1.0))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint persistence through the ArtifactCache.
+
+def _encode_checkpoint(ckpt: dict):
+    """Checkpoint dict -> (arrays, meta) for the planner's npz+JSON codec.
+
+    Arrays carry the model parameters (in sorted-name order, names listed
+    in the meta) and the optimizer's moment estimates; everything else —
+    epoch, step count, RNG cursors (``repr`` strings), cache fingerprint —
+    is JSON-safe metadata.
+    """
+    arrays = {}
+    names = sorted(ckpt["model"])
+    for i, name in enumerate(names):
+        arrays[f"model_{i}"] = np.asarray(ckpt["model"][name])
+    for i, a in enumerate(ckpt["adam"]["m"]):
+        arrays[f"adam_m_{i}"] = np.asarray(a)
+    for i, a in enumerate(ckpt["adam"]["v"]):
+        arrays[f"adam_v_{i}"] = np.asarray(a)
+    meta = {
+        "epoch": int(ckpt["epoch"]),
+        "model_names": names,
+        "num_moments": len(ckpt["adam"]["m"]),
+        "adam_t": int(ckpt["adam"]["t"]),
+        "samplers": list(ckpt["samplers"]),
+        "layer_rngs": [list(states) for states in ckpt["layer_rngs"]],
+        "cache_fp": ckpt.get("cache_fp"),
+    }
+    return arrays, meta
+
+
+def _decode_checkpoint(arrays, meta) -> dict:
+    names = list(meta["model_names"])
+    n = int(meta["num_moments"])
+    return {
+        "epoch": int(meta["epoch"]),
+        "model": {name: arrays[f"model_{i}"] for i, name in enumerate(names)},
+        "adam": {
+            "m": [arrays[f"adam_m_{i}"] for i in range(n)],
+            "v": [arrays[f"adam_v_{i}"] for i in range(n)],
+            "t": int(meta["adam_t"]),
+        },
+        "samplers": list(meta["samplers"]),
+        "layer_rngs": [list(states) for states in meta["layer_rngs"]],
+        "cache_fp": meta.get("cache_fp"),
+    }
+
+
+def _ensure_checkpoint_codec() -> None:
+    """Register the ``"checkpoint"`` artifact kind with the planner's codec
+    table (idempotent; lazy so importing this module never drags the
+    planner in, and no import cycle forms through ``repro.core``)."""
+    from repro.core import planner
+
+    planner._CODECS.setdefault(
+        "checkpoint", (_encode_checkpoint, _decode_checkpoint))
+
+
+def save_checkpoint(cache, fingerprint: str, ckpt: dict) -> None:
+    """Persist a checkpoint through an :class:`ArtifactCache` (both tiers).
+
+    ``fingerprint`` addresses the run — :class:`RecoveryManager` uses the
+    cluster fingerprint, so a checkpoint can only ever be restored into a
+    cluster with the identical topology, training set, and cache layout.
+    Successive epochs overwrite the same entry: only the newest checkpoint
+    is ever needed.
+    """
+    _ensure_checkpoint_codec()
+    cache.put_memory("checkpoint", fingerprint, ckpt)
+    cache.save_disk("checkpoint", fingerprint, ckpt)
+
+
+def load_checkpoint(cache, fingerprint: str) -> Optional[dict]:
+    """The newest persisted checkpoint for ``fingerprint``, or ``None``
+    (no entry, disk disabled, or a corrupt file — the cache degrades to a
+    miss, and training starts from epoch 0)."""
+    _ensure_checkpoint_codec()
+    hit = cache.get_memory("checkpoint", fingerprint)
+    if hit is not None:
+        return hit
+    return cache.load_disk("checkpoint", fingerprint)
+
+
+# ----------------------------------------------------------------------
+# The manager.
+
+class RecoveryManager:
+    """Drive multi-epoch training with checkpoint/replay fault recovery.
+
+    Wraps a :class:`MultiprocBackend` constructed with ``recoverable=True``
+    (anything else fails fast on the first fault before the manager can
+    act).  :meth:`train` is the whole loop: run an epoch; on success,
+    checkpoint and advance; on :class:`WorkerFailedError`, back off per the
+    policy, :meth:`~MultiprocBackend.recover` the failed ranks, and replay
+    the interrupted epoch from the last checkpoint.  The backend restores
+    every RNG cursor from the checkpoint, so the replayed epoch — and all
+    later ones — produce bit-identical losses to a fault-free run.
+
+    Parameters
+    ----------
+    backend:
+        A recoverable multiproc backend (live or not-yet-started).
+    policy:
+        Restart budget and backoff pacing; defaults to
+        ``RecoveryPolicy()``.
+    cache:
+        Optional :class:`~repro.core.planner.ArtifactCache`.  When given,
+        every checkpoint is also persisted (kind ``"checkpoint"``, keyed by
+        the cluster fingerprint) and :meth:`train` warm-starts from the
+        newest persisted checkpoint if the in-memory one is absent.
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+    """
+
+    def __init__(self, backend: MultiprocBackend,
+                 policy: Optional[RecoveryPolicy] = None, *,
+                 cache=None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if not backend.recoverable:
+            raise ValueError(
+                "RecoveryManager requires a backend constructed with "
+                "recoverable=True (a fail-fast backend tears the cluster "
+                "down before recover() can run)"
+            )
+        self.backend = backend
+        self.policy = (policy if policy is not None
+                       else RecoveryPolicy()).validate()
+        self.cache = cache
+        self._sleep = sleep
+        self.checkpoint: Optional[dict] = None
+        self.restarts = 0
+        #: One dict per recovery: ``epoch``, ``machine`` (the attributed
+        #: rank), ``error``, ``detect_s`` (epoch start -> failure raised),
+        #: ``backoff_s``, ``recover_s`` (respawn + restore), ``replay_s``
+        #: (the successful rerun of that epoch).  MTTR per event is
+        #: ``detect_s + backoff_s + recover_s + replay_s``.
+        self.recoveries: List[dict] = []
+
+    # -- checkpoint plumbing -------------------------------------------
+    def _fingerprint(self) -> Optional[str]:
+        return self.backend._pool_key
+
+    def _persist(self) -> None:
+        if self.cache is not None and self.checkpoint is not None:
+            fp = self._fingerprint()
+            if fp is not None:
+                save_checkpoint(self.cache, fp, self.checkpoint)
+
+    def load_persisted(self) -> Optional[int]:
+        """Adopt the newest persisted checkpoint for this cluster, if any.
+
+        Returns the epoch to resume from (checkpoint epoch + 1), or
+        ``None`` when there is nothing to adopt.  The backend must be live
+        (started) so the cluster fingerprint exists; call
+        :meth:`MultiprocBackend.start` first, then this, then feed the
+        returned epoch to :meth:`train` as ``start_epoch``.
+        """
+        if self.cache is None:
+            return None
+        self.backend.start()
+        fp = self._fingerprint()
+        if fp is None:
+            return None
+        ckpt = load_checkpoint(self.cache, fp)
+        if ckpt is None:
+            return None
+        self.checkpoint = ckpt
+        self.backend.recover(ckpt)
+        return int(ckpt["epoch"]) + 1
+
+    # -- the loop -------------------------------------------------------
+    def train(self, epochs: int, *, start_epoch: int = 0) -> List:
+        """Run ``[start_epoch, epochs)``; recover and replay on failures.
+
+        Returns the per-epoch :class:`~repro.distributed.executor.
+        EpochReport` list (replayed epochs appear once, with their final —
+        successful — report).  Exhausting ``policy.max_restarts`` closes
+        the backend and re-raises the machine-attributed failure.
+        """
+        reports: List = []
+        epoch = start_epoch
+        while epoch < epochs:
+            t_epoch = time.monotonic()
+            try:
+                report = self.backend.run_epoch(epoch)
+            except WorkerFailedError as exc:
+                detect_s = time.monotonic() - t_epoch
+                if self.restarts >= self.policy.max_restarts:
+                    if OBS.enabled:
+                        OBS.metrics.counter("mp.recovery_exhausted").inc()
+                    self.backend.close()
+                    raise
+                attempt = self.restarts
+                self.restarts += 1
+                delay = self.policy.backoff_s(attempt)
+                self._sleep(delay)
+                t_recover = time.monotonic()
+                self.backend.recover(self.checkpoint)
+                recover_s = time.monotonic() - t_recover
+                # Replay resumes from the epoch after the last checkpoint
+                # (with checkpoint_interval > 1 that can be earlier than
+                # the failed epoch); reports for rewound epochs are
+                # replaced by their bit-identical reruns.
+                resume = (int(self.checkpoint["epoch"]) + 1
+                          if self.checkpoint is not None else start_epoch)
+                del reports[resume - start_epoch:]
+                self.recoveries.append({
+                    "epoch": epoch,
+                    "resume_epoch": resume,
+                    "machine": exc.machine,
+                    "error": str(exc),
+                    "detect_s": detect_s,
+                    "backoff_s": delay,
+                    "recover_s": recover_s,
+                    "replay_s": None,  # filled when the replay succeeds
+                    "_t_resume": time.monotonic(),
+                })
+                epoch = resume
+                continue
+            last = self.recoveries[-1] if self.recoveries else None
+            if last is not None and last["replay_s"] is None \
+                    and epoch == last["epoch"]:
+                last["replay_s"] = time.monotonic() - last.pop("_t_resume")
+            reports.append(report)
+            if (epoch - start_epoch + 1) % self.policy.checkpoint_interval == 0:
+                self.checkpoint = self.backend.capture_checkpoint(epoch)
+                self._persist()
+            epoch += 1
+        return reports
+
+    # -- MTTR -----------------------------------------------------------
+    def mttr_s(self) -> Optional[float]:
+        """Mean time-to-recovery over completed recoveries (detection +
+        backoff + respawn/restore + replay), or ``None`` if none."""
+        done = [r for r in self.recoveries if r["replay_s"] is not None]
+        if not done:
+            return None
+        total = sum(r["detect_s"] + r["backoff_s"] + r["recover_s"]
+                    + r["replay_s"] for r in done)
+        return total / len(done)

@@ -13,8 +13,13 @@ defines a small explicit format instead:
   (``None``, bools, 64-bit ints, doubles, strings, bytes) and containers
   (list, tuple, dict with string keys) nest arbitrarily;
 * an **ndarray frame** is ``dtype tag | ndim | shape (u64 each) | raw
-  C-contiguous little-endian payload`` — the length is implied by dtype and
-  shape, so a corrupt header can never over-read.
+  C-contiguous little-endian payload | crc32(payload)`` — the length is
+  implied by dtype and shape, so a corrupt header can never over-read, and
+  the CRC32 trailer rejects corrupt *payloads* (a flipped bit in the raw
+  bytes used to decode silently into a wrong array);
+* every **message** additionally carries a CRC32 trailer over its entire
+  frame, so any corruption — header, scalar payload, or array — surfaces
+  as :class:`WireError` instead of a garbage decode.
 
 Values round-trip bit-identically: dtypes, shapes, int-vs-float distinctions,
 and tuple-vs-list distinctions are all preserved (arrays come back native
@@ -32,14 +37,19 @@ execute directly.
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+import zlib
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
 from repro.distributed.feature_store import CoalescedFetchPlan, FetchPlan
 
 MAGIC = b"RPWF"
-VERSION = 1
+#: v2 added the CRC32 integrity trailers (per ndarray frame + per message).
+VERSION = 2
+
+#: Bytes of a CRC32 trailer.
+_CRC_NBYTES = 4
 
 #: Value type tags.
 _T_NONE = 0x00
@@ -77,7 +87,16 @@ _MAX_NDIM = 32
 
 
 class WireError(ValueError):
-    """Malformed, truncated, or unrepresentable wire data."""
+    """Malformed, truncated, corrupt, or unrepresentable wire data.
+
+    ``machine`` attributes the failure to a peer when the decoding side
+    knows which worker/machine produced the bytes (``None`` otherwise —
+    the multiproc coordinator re-raises with the pipe's machine id).
+    """
+
+    def __init__(self, message: str, machine: Optional[int] = None):
+        super().__init__(message)
+        self.machine = machine
 
 
 # ----------------------------------------------------------------------
@@ -99,7 +118,9 @@ def pack_ndarray(arr: np.ndarray, out: bytearray) -> None:
     out.append(arr.ndim)
     for dim in arr.shape:
         out += struct.pack("<Q", dim)
-    out += arr.tobytes()
+    payload = arr.tobytes()
+    out += payload
+    out += struct.pack("<I", zlib.crc32(payload))
 
 
 def _pack_value(obj: Any, out: bytearray) -> None:
@@ -167,6 +188,7 @@ def pack_message(kind: str, payload: Any) -> bytes:
     out.append(len(raw_kind))
     out += raw_kind
     _pack_value(payload, out)
+    out += struct.pack("<I", zlib.crc32(out))
     return bytes(out)
 
 
@@ -199,9 +221,23 @@ def unpack_ndarray(buf: memoryview, offset: int) -> Tuple[np.ndarray, int]:
     for dim in shape:
         count *= dim
     nbytes = count * dtype.itemsize
-    _need(buf, offset, nbytes)
+    _need(buf, offset, nbytes + _CRC_NBYTES)
+    end = offset + nbytes
+    want = struct.unpack_from("<I", buf, end)[0]
+    got = zlib.crc32(buf[offset:end])
+    if got != want:
+        raise WireError(
+            f"ndarray payload checksum mismatch "
+            f"(crc32 {got:#010x} != {want:#010x}) — corrupt frame"
+        )
     arr = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
-    return arr.reshape(shape).copy(), offset + nbytes
+    try:
+        # A corrupt dim of a zero-size frame can pass the length and crc
+        # checks above (0 payload bytes either way) yet exceed numpy's
+        # per-dimension limit.
+        return arr.reshape(shape).copy(), end + _CRC_NBYTES
+    except ValueError as exc:
+        raise WireError(f"corrupt ndarray shape {shape}: {exc}") from exc
 
 
 def _unpack_value(buf: memoryview, offset: int) -> Tuple[Any, int]:
@@ -226,7 +262,12 @@ def _unpack_value(buf: memoryview, offset: int) -> Tuple[Any, int]:
         offset += 4
         _need(buf, offset, n)
         raw = bytes(buf[offset:offset + n])
-        return (raw.decode("utf8") if tag == _T_STR else raw), offset + n
+        if tag == _T_BYTES:
+            return raw, offset + n
+        try:
+            return raw.decode("utf8"), offset + n
+        except UnicodeDecodeError as exc:
+            raise WireError(f"corrupt utf8 string payload: {exc}") from exc
     if tag in (_T_LIST, _T_TUPLE):
         _need(buf, offset, 4)
         n = struct.unpack_from("<I", buf, offset)[0]
@@ -261,8 +302,24 @@ def unpack_obj(data: bytes) -> Any:
     return obj
 
 
-def unpack_message(data: bytes) -> Tuple[str, Any]:
-    """Decode one framed message; returns ``(kind, payload)``."""
+def unpack_message(data: bytes, *,
+                   machine: Optional[int] = None) -> Tuple[str, Any]:
+    """Decode one framed message; returns ``(kind, payload)``.
+
+    ``machine`` attributes any decode failure to the peer that produced
+    the bytes: every :class:`WireError` raised from this call carries it,
+    so a flipped bit on a worker pipe surfaces as *"machine k sent corrupt
+    data"* rather than an anonymous checksum mismatch.
+    """
+    try:
+        return _unpack_message(data)
+    except WireError as exc:
+        if machine is not None and exc.machine is None:
+            exc.machine = machine
+        raise
+
+
+def _unpack_message(data: bytes) -> Tuple[str, Any]:
     buf = memoryview(data)
     _need(buf, 0, len(MAGIC) + 2)
     if bytes(buf[:len(MAGIC)]) != MAGIC:
@@ -278,8 +335,18 @@ def unpack_message(data: bytes) -> Tuple[str, Any]:
     except UnicodeDecodeError as exc:
         raise WireError("message kind is not ASCII") from exc
     payload, offset = _unpack_value(buf, offset + kind_len)
-    if offset != len(buf):
-        raise WireError(f"{len(buf) - offset} trailing bytes after message")
+    if offset != len(buf) - _CRC_NBYTES:
+        raise WireError(
+            f"message length mismatch: {len(buf) - _CRC_NBYTES - offset} "
+            f"trailing bytes after payload"
+        )
+    want = struct.unpack_from("<I", buf, offset)[0]
+    got = zlib.crc32(buf[:offset])
+    if got != want:
+        raise WireError(
+            f"message checksum mismatch (crc32 {got:#010x} != {want:#010x}) "
+            f"— corrupt or trailing bytes on the wire"
+        )
     return kind, payload
 
 

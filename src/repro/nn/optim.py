@@ -69,6 +69,32 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    def state_dict(self) -> dict:
+        """Copy of the moment estimates and step count, in parameter order
+        (the order ``params`` was constructed in — both sides of a
+        checkpoint must build the optimizer over the same model walk)."""
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": int(self._t),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        m, v = list(state["m"]), list(state["v"])
+        if len(m) != len(self.params) or len(v) != len(self.params):
+            raise ValueError(
+                f"optimizer state has {len(m)}/{len(v)} moment arrays, "
+                f"expected {len(self.params)}")
+        for i, p in enumerate(self.params):
+            for name, src in (("m", m[i]), ("v", v[i])):
+                arr = np.asarray(src, dtype=p.data.dtype)
+                if arr.shape != p.data.shape:
+                    raise ValueError(f"{name}[{i}]: shape {arr.shape} != "
+                                     f"{p.data.shape}")
+        self._m = [np.asarray(a, dtype=np.float64).copy() for a in m]
+        self._v = [np.asarray(a, dtype=np.float64).copy() for a in v]
+        self._t = int(state["t"])
+
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2

@@ -199,6 +199,28 @@ class NeighborSampler:
     def num_hops(self) -> int:
         return len(self.fanouts)
 
+    def rng_state(self) -> str:
+        """The default stream's cursor as a ``repr`` string (PCG64 state
+        holds 128-bit ints, so it travels as text — restore parses it with
+        ``ast.literal_eval``).  Together with :meth:`set_rng_state` this is
+        the replay hook for checkpoint/recovery: capturing at an epoch
+        boundary and restoring later reproduces the same draws."""
+        return repr(self._rng.bit_generator.state)
+
+    def set_rng_state(self, state: str) -> None:
+        """Restore a :meth:`rng_state` cursor and reset the stamped
+        membership tables.  The stamp/local tables are scratch (their
+        contents never influence which vertices are drawn, only the dedup
+        bookkeeping within one minibatch), but entries written by an
+        aborted partial epoch would collide with replayed stamp values —
+        zeroing them alongside the epoch counter is always valid."""
+        import ast
+
+        self._rng.bit_generator.state = ast.literal_eval(state)
+        self._stamp[:] = 0
+        self._local[:] = 0
+        self._epoch = 0
+
     def sample(self, seeds: np.ndarray, rng: Optional[np.random.Generator] = None) -> MFG:
         """Sample the L-hop expanded neighborhood of ``seeds``."""
         rng = self._rng if rng is None else rng

@@ -27,8 +27,13 @@ from repro.serving.batcher import (
     make_batcher,
     one_hop_union,
 )
-from repro.serving.metrics import GatherTotals, RequestRecord, ServingReport
-from repro.serving.service import InferenceService, forward_flops
+from repro.serving.metrics import (
+    AvailabilityLedger,
+    GatherTotals,
+    RequestRecord,
+    ServingReport,
+)
+from repro.serving.service import InferenceService, Outage, forward_flops
 from repro.serving.workload import (
     ClosedLoopWorkload,
     Request,
@@ -45,10 +50,12 @@ __all__ = [
     "MicroBatcher",
     "make_batcher",
     "one_hop_union",
+    "AvailabilityLedger",
     "GatherTotals",
     "RequestRecord",
     "ServingReport",
     "InferenceService",
+    "Outage",
     "forward_flops",
     "ClosedLoopWorkload",
     "Request",

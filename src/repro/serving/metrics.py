@@ -48,6 +48,13 @@ class RequestRecord:
     (queueing wait ends — the quantity ``max_wait_ms`` bounds), ``started``
     when its window began executing, ``completed`` when its micro-batch's
     forward pass finished.
+
+    ``status`` is the availability outcome: ``"ok"`` (full-fidelity
+    answer), ``"degraded"`` (answered from resident state while a partition
+    it needed was down — unavailable rows zero-filled, never silently
+    substituted), or ``"shed"`` (refused per its SLO class; no prediction
+    exists and ``completed`` is the refusal time).  ``retries`` counts
+    requeues the request took before this outcome.
     """
 
     rid: int
@@ -57,6 +64,9 @@ class RequestRecord:
     formed: float
     started: float
     completed: float
+    slo: str = "standard"
+    status: str = "ok"
+    retries: int = 0
 
     @property
     def queue_wait(self) -> float:
@@ -65,6 +75,42 @@ class RequestRecord:
     @property
     def latency(self) -> float:
         return self.completed - self.arrival
+
+
+@dataclass
+class AvailabilityLedger:
+    """What happened to every request while partitions were (un)healthy.
+
+    The availability counterpart of the latency ledger: requests are
+    counted exactly once as ``served_ok``, ``degraded``, or ``shed`` (so
+    ``answered + shed == total``), and ``retries`` / ``unavailable_rows``
+    measure the cost of outages that did not show up as refusals.  A
+    fault-free run is all ``served_ok`` with every other counter zero.
+    """
+
+    served_ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    retries: int = 0
+    #: Demand-fetch rows that a down peer never delivered (zero-filled in
+    #: the degraded responses; excluded from comm pricing and comm totals).
+    unavailable_rows: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.served_ok + self.degraded + self.shed
+
+    @property
+    def answered(self) -> int:
+        return self.served_ok + self.degraded
+
+    def availability(self) -> float:
+        """Fraction of requests answered (full-fidelity or degraded)."""
+        return self.answered / max(self.total, 1)
+
+    def ok_fraction(self) -> float:
+        """Fraction of requests answered at full fidelity."""
+        return self.served_ok / max(self.total, 1)
 
 
 @dataclass
@@ -79,6 +125,10 @@ class GatherTotals:
     coalesced_rows: int = 0
     refresh_rows: int = 0
     cache_insertions: int = 0
+    #: Rows a degraded gather zero-filled because their owner was down
+    #: (moved out of ``remote_rows`` by the service — they never crossed
+    #: the simulated wire).
+    unavailable_rows: int = 0
 
     def add(self, stats) -> None:
         """Accumulate one :class:`GatherStats`."""
@@ -125,16 +175,24 @@ class ServingReport:
     #: retained sample array; hand-built reports (tests) may omit it and
     #: one is derived from ``records`` on first use.
     latency_hist: Optional[Histogram] = None
+    #: Availability outcomes (ok / degraded / shed / retries); a fault-free
+    #: run is all ``served_ok``.  Hand-built reports get an empty ledger.
+    availability: AvailabilityLedger = field(
+        default_factory=AvailabilityLedger)
 
     # -- latency --------------------------------------------------------
     def latencies(self) -> np.ndarray:
-        return np.array([r.latency for r in self.records])
+        """Latencies of *answered* requests (shed requests have no
+        completion to measure; they are counted in ``availability``)."""
+        return np.array([r.latency for r in self.records
+                         if r.status != "shed"])
 
     def _latencies_hist(self) -> Histogram:
         if self.latency_hist is None:
             hist = latency_histogram()
             for rec in self.records:
-                hist.observe(rec.latency)
+                if rec.status != "shed":
+                    hist.observe(rec.latency)
             self.latency_hist = hist
         return self.latency_hist
 
@@ -162,13 +220,14 @@ class ServingReport:
         return self.latency_percentile(99.0)
 
     def mean_latency(self) -> float:
-        return float(self.latencies().mean()) if self.records else 0.0
+        lats = self.latencies()
+        return float(lats.mean()) if len(lats) else 0.0
 
     def max_queue_wait(self) -> float:
-        """Worst formation wait — the deadline batcher's SLO quantity."""
-        if not self.records:
-            return 0.0
-        return float(max(r.queue_wait for r in self.records))
+        """Worst formation wait — the deadline batcher's SLO quantity
+        (answered requests; a shed request never forms a batch)."""
+        waits = [r.queue_wait for r in self.records if r.status != "shed"]
+        return float(max(waits)) if waits else 0.0
 
     # -- rates ----------------------------------------------------------
     @property
@@ -198,4 +257,7 @@ class ServingReport:
             "throughput_rps": self.throughput_rps(),
             "comm_rows": float(self.gather.comm_rows()),
             "cache_hit_rate": self.gather.cache_hit_rate(),
+            "degraded": float(self.availability.degraded),
+            "shed": float(self.availability.shed),
+            "availability": self.availability.availability(),
         }

@@ -36,8 +36,10 @@ load emerges from the clock instead of being assumed.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +56,7 @@ from repro.sampling.mfg import MFG
 from repro.sampling.neighbor import NeighborSampler
 from repro.serving.batcher import MicroBatcher, make_batcher
 from repro.serving.metrics import (
+    AvailabilityLedger,
     GatherTotals,
     RequestRecord,
     ServingReport,
@@ -67,15 +70,51 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.system import SalientPP
     from repro.graph.mutable import EdgeBatch
 
-#: Event kinds, in tie-break order at equal simulated time.  Mutations
-#: sort first: a batch timestamped with an arrival's instant is already
-#: part of the graph that arrival samples.
-_MUTATE, _ARRIVE, _TIMER, _COMPLETE = -1, 0, 1, 2
+#: Event kinds, in tie-break order at equal simulated time.  Health
+#: transitions sort first (a machine down at an arrival's instant is down
+#: for that arrival's routing); mutations next: a batch timestamped with an
+#: arrival's instant is already part of the graph that arrival samples.
+#: ``_REQUEUE`` re-enqueues an already-admitted (internal-numbering)
+#: request — a retry backoff expiring, or a down machine's queue being
+#: evacuated.
+_HEALTH, _MUTATE, _ARRIVE, _TIMER, _COMPLETE, _REQUEUE = -2, -1, 0, 1, 2, 3
 
 #: Default micro-batches of recently served seeds a machine remembers —
 #: the request-distribution estimate its vip-refresh provider scores
 #: against (shrunk to twice the refresh interval for refreshing caches).
 _RECENT_WINDOW = 50
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One machine's unavailability interval on the simulated clock.
+
+    While down, the machine serves nothing (its queue is evacuated to live
+    machines, routing skips it) and its feature partition is unreachable:
+    demand fetches that would hit it are handled per the requesting
+    request's SLO class (retry / degrade / shed — see
+    ``ServingConfig.slo_policies``).  Rows resident elsewhere — local to
+    the serving machine or held in its cache — keep serving at full
+    fidelity.  ``end=inf`` models a machine that never comes back.
+    """
+
+    machine: int
+    start: float
+    end: float = math.inf
+
+    def validate(self, num_machines: int) -> "Outage":
+        if not 0 <= self.machine < num_machines:
+            raise ValueError(
+                f"outage names machine {self.machine}, service has "
+                f"{num_machines} machines"
+            )
+        if self.start < 0:
+            raise ValueError(f"outage start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage end ({self.end}) must be after start ({self.start})"
+            )
+        return self
 
 
 def forward_flops(mfg: MFG, in_dim: int, hidden_dim: int, out_dim: int) -> float:
@@ -140,6 +179,13 @@ class InferenceService:
         dims = cost_model.dims
         self._dims = (dims.in_dim, dims.hidden_dim, dims.out_dim)
         self._rr_next = 0  # round-robin routing cursor
+        # Machine-health view: _down[k] while machine k is inside >= 1
+        # outage interval (_down_depth handles overlapping outages).
+        self._down: List[bool] = [False] * self.num_machines
+        self._down_depth: List[int] = [0] * self.num_machines
+        self._slo_policy = dict(self.spec.slo_policies)
+        self._retries: Dict[int, int] = {}
+        self.availability = AvailabilityLedger()
         # Reusable gather outputs, keyed by (machine, micro-batch slot): a
         # window's features are consumed (forward pass, predictions copied)
         # before the machine serves another window.
@@ -296,15 +342,28 @@ class InferenceService:
             seeds=self.store.reordered.new_of_old[seeds],
             arrival=request.arrival,
             client=request.client,
+            slo=request.slo,
         )
 
     def _route(self, request: Request) -> int:
+        """Pick the serving machine; down machines are skipped while at
+        least one machine is up (with every machine down, the healthy
+        choice stands — the request waits in that queue for an up
+        transition or the end-of-run shed)."""
         if self.spec.router == "owner":
             owners = self.store.reordered.owner_of(request.seeds)
-            return int(np.bincount(owners, minlength=self.num_machines).argmax())
-        machine = self._rr_next
-        self._rr_next = (self._rr_next + 1) % self.num_machines
-        return machine
+            counts = np.bincount(owners, minlength=self.num_machines)
+            if any(self._down):
+                up = [k for k in range(self.num_machines) if not self._down[k]]
+                if up:
+                    return max(up, key=lambda k: (counts[k], -k))
+            return int(counts.argmax())
+        for _ in range(self.num_machines):
+            machine = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_machines
+            if not self._down[machine]:
+                return machine
+        return machine  # every machine down
 
     def _push(self, time: float, kind: int, payload) -> None:
         self._seq += 1
@@ -316,6 +375,7 @@ class InferenceService:
         workload: Union[Sequence[Request], ClosedLoopWorkload],
         *,
         mutations: Optional[Sequence[Tuple[float, "EdgeBatch"]]] = None,
+        outages: Optional[Sequence[Union[Outage, Tuple]]] = None,
     ) -> ServingReport:
         """Serve ``workload`` to completion; returns the priced report.
 
@@ -334,9 +394,26 @@ class InferenceService:
         ``streaming.refresh_on_mutation`` (incremental refresh vs the
         frozen stale baseline).  Refresh fetch traffic stays priced
         through the existing ``CACHE_REFRESH`` stage event.
+
+        ``outages`` adds partition loss to the scenario: each
+        :class:`Outage` (or ``(machine, start, end)`` tuple) takes one
+        machine down for an interval of the simulated clock.  Down
+        machines serve nothing (their queues are evacuated, routing skips
+        them) and their feature partitions are unreachable; a request
+        whose gather would touch a down partition is retried with
+        backoff, served degraded from resident state (unavailable rows
+        zero-filled), or shed — per its SLO class
+        (``ServingConfig.slo_policies``) — and every outcome is counted
+        in the report's :class:`~repro.serving.metrics.
+        AvailabilityLedger`.  Requests whose gathers avoid every down
+        partition are served at full fidelity throughout.
         """
         closed = hasattr(workload, "on_complete")
         initial = workload.initial() if closed else list(workload)
+        spans = [o if isinstance(o, Outage) else Outage(*o)
+                 for o in (outages or ())]
+        for o in spans:
+            o.validate(self.num_machines)
 
         self._heap: list = []
         self._seq = 0
@@ -353,22 +430,36 @@ class InferenceService:
         self._predictions = {}
         self._originals = {}
         self._window_durations: List[float] = []
+        self._down = [False] * self.num_machines
+        self._down_depth = [0] * self.num_machines
+        self._retries: Dict[int, int] = {}
+        self.availability = AvailabilityLedger()
 
         for req in initial:
             self._push(req.arrival, _ARRIVE, req)
         for when, batch in (mutations or ()):
             self._push(float(when), _MUTATE, batch)
+        for o in spans:
+            self._push(o.start, _HEALTH, (o.machine, True))
+            if math.isfinite(o.end):
+                self._push(o.end, _HEALTH, (o.machine, False))
 
         now = 0.0
         while self._heap:
             time, kind, _, payload = heapq.heappop(self._heap)
             now = max(now, time)
-            if kind == _MUTATE:
+            if kind == _HEALTH:
+                self._on_health(payload, now)
+            elif kind == _MUTATE:
                 self._apply_mutation(payload)
             elif kind == _ARRIVE:
                 internal = self._admit(payload)
                 machine = self._route(internal)
                 self._queues[machine].append(internal)
+                self._try_flush(machine, now)
+            elif kind == _REQUEUE:
+                machine = self._route(payload)
+                self._queues[machine].append(payload)
                 self._try_flush(machine, now)
             elif kind == _TIMER:
                 self._timer_at[payload] = None
@@ -386,6 +477,14 @@ class InferenceService:
                 # No arrival can ever trigger another flush: drain what the
                 # policies are still holding (fixed-size partial batches).
                 for machine in range(self.num_machines):
+                    if self._down[machine] and self._queues[machine]:
+                        # Only reachable with every machine down (routing
+                        # never queues on a down machine otherwise), and
+                        # an empty heap means no up-transition is ever
+                        # coming: refuse rather than wedge.
+                        self._shed(machine, self._queues[machine], now)
+                        self._queues[machine] = []
+                        continue
                     while self._queues[machine]:
                         groups = self.batchers[machine].flush(
                             self._queues[machine], now, force=True
@@ -412,6 +511,7 @@ class InferenceService:
             makespan=makespan,
             window_durations=self._window_durations,
             latency_hist=self._latency_hist,
+            availability=self.availability,
         )
 
     # ------------------------------------------------------------------
@@ -453,8 +553,91 @@ class InferenceService:
         ))
         self.mutations_applied += 1
 
+    def _on_health(self, payload: Tuple[int, bool], now: float) -> None:
+        """Apply one machine up/down transition (depth-counted, so
+        overlapping outages compose)."""
+        machine, going_down = payload
+        if going_down:
+            self._down_depth[machine] += 1
+            if self._down_depth[machine] == 1:
+                self._down[machine] = True
+                if OBS.enabled:
+                    OBS.metrics.counter("serve.outages").inc()
+                # Evacuate: everything queued on the dying machine is
+                # re-routed to live machines (original arrivals kept, so
+                # the outage's queueing cost stays visible in latency).
+                pending, self._queues[machine] = self._queues[machine], []
+                for req in pending:
+                    self._push(now, _REQUEUE, req)
+        else:
+            self._down_depth[machine] -= 1
+            if self._down_depth[machine] == 0:
+                self._down[machine] = False
+                self._try_flush(machine, now)
+
+    def _slo_action(self, slo: str) -> str:
+        return self._slo_policy.get(slo, "degrade")
+
+    def _unavailable_mask(self, plan: FetchPlan) -> np.ndarray:
+        """Which of ``plan.remote_ids`` are owned by a down machine.
+
+        Only *demand* fetches can be unavailable: local rows and cached
+        (resident) rows keep serving through an owner's outage.
+        """
+        owners = self.store.reordered.owner_of(plan.remote_ids)
+        down = np.asarray(self._down, dtype=bool)
+        return down[owners]
+
+    def _shed(self, machine: int, reqs: List[Request], now: float) -> None:
+        """Refuse ``reqs`` per their SLO class: recorded (status
+        ``"shed"``), no prediction, completion event at the refusal time
+        so closed-loop clients continue."""
+        for req in reqs:
+            self.availability.shed += 1
+            self._records.append(RequestRecord(
+                rid=req.rid, machine=machine, num_seeds=req.num_seeds,
+                arrival=req.arrival, formed=now, started=now, completed=now,
+                slo=req.slo, status="shed",
+                retries=self._retries.get(req.rid, 0),
+            ))
+            if OBS.enabled:
+                OBS.metrics.counter("serve.shed_requests").inc()
+        self._push(now, _COMPLETE, (machine, list(reqs)))
+
+    def _apply_slo_actions(self, machine: int, group: List[Request],
+                           now: float) -> List[Request]:
+        """Split one down-partition-touching micro-batch by SLO class.
+
+        Returns the requests to serve degraded now; ``retry``-class
+        requests with budget left are requeued with exponential backoff
+        (they re-route on re-delivery, after the partition may have
+        returned), exhausted retriers degrade, ``shed``-class requests are
+        refused on the spot.
+        """
+        kept: List[Request] = []
+        for req in group:
+            action = self._slo_action(req.slo)
+            if action == "retry":
+                attempt = self._retries.get(req.rid, 0)
+                if attempt < self.spec.retry_limit:
+                    self._retries[req.rid] = attempt + 1
+                    self.availability.retries += 1
+                    if OBS.enabled:
+                        OBS.metrics.counter("serve.retries").inc()
+                    delay = self.spec.retry_backoff_ms / 1e3 * (2.0 ** attempt)
+                    self._push(now + delay, _REQUEUE, req)
+                    continue
+                kept.append(req)  # retry budget spent: serve degraded
+            elif action == "shed":
+                self._shed(machine, [req], now)
+            else:
+                kept.append(req)
+        return kept
+
     def _try_flush(self, machine: int, now: float) -> None:
         """Flush as long as the batcher is due, then arm its deadline."""
+        if self._down[machine]:
+            return  # a down machine serves nothing until its up event
         while True:
             groups = self.batchers[machine].flush(self._queues[machine], now)
             if not groups:
@@ -480,21 +663,72 @@ class InferenceService:
         trace = self._trace
         step0 = trace.num_steps
         sampler = self.samplers[machine]
+        degraded_mode = any(self._down)
+        flags: Dict[int, str] = {}
+        kept_groups: List[List[Request]] = []
         mfgs = []
+        plans: List[FetchPlan] = []
+        masks: List[Optional[np.ndarray]] = []
         for group in groups:
             seeds = np.unique(np.concatenate([r.seeds for r in group]))
-            mfgs.append(sampler.sample(seeds))
+            mfg = sampler.sample(seeds)
             self._recent_seeds[machine].append(seeds)
-        plans = [self.store.plan_gather(machine, mfg.n_id) for mfg in mfgs]
+            plan = self.store.plan_gather(machine, mfg.n_id)
+            mask = None
+            if degraded_mode:
+                mask = self._unavailable_mask(plan)
+                if mask.any():
+                    # This micro-batch needs a down partition: split it by
+                    # SLO class, then resample over what actually serves.
+                    kept = self._apply_slo_actions(machine, group, now)
+                    if not kept:
+                        self._recent_seeds[machine].pop()
+                        continue
+                    if len(kept) != len(group):
+                        seeds = np.unique(
+                            np.concatenate([r.seeds for r in kept]))
+                        mfg = sampler.sample(seeds)
+                        self._recent_seeds[machine][-1] = seeds
+                        plan = self.store.plan_gather(machine, mfg.n_id)
+                        mask = self._unavailable_mask(plan)
+                    group = kept
+                    if mask.any():
+                        for req in group:
+                            flags[req.rid] = "degraded"
+            kept_groups.append(group)
+            mfgs.append(mfg)
+            plans.append(plan)
+            masks.append(mask)
+        if not kept_groups:
+            return
+        groups = kept_groups
         dtype = self.store.stores[machine].local_features.dtype
         outs = [self._gather_arena.out((machine, i), len(p.ids),
                                        self.store.feature_dim, dtype)
                 for i, p in enumerate(plans)]
         if len(plans) == 1:
             results = [self.store.execute(plans[0], out=outs[0])]
+            fresh_masks: List[Optional[np.ndarray]] = [None]  # all fresh
         else:
-            results = self.store.execute_coalesced(FetchPlan.coalesce(plans),
-                                                   outs=outs)
+            cplan = FetchPlan.coalesce(plans)
+            results = self.store.execute_coalesced(cplan, outs=outs)
+            fresh_masks = list(cplan.first_request)
+        # Degraded gathers: rows owned by a down machine never arrived —
+        # zero them (the in-process store "fetched" them, but the modeled
+        # peer is gone) and keep their counts out of the comm pricing.  An
+        # unavailable row comes out of the bucket that claimed it: remote
+        # if this sub-plan was its first request in the window, coalesced
+        # otherwise.
+        unavail_fresh = [0] * len(plans)
+        unavail_coalesced = [0] * len(plans)
+        for i, (plan, mask, fresh) in enumerate(
+                zip(plans, masks, fresh_masks)):
+            if mask is not None and mask.any():
+                results[i][0][plan.remote_pos[mask]] = 0
+                n_fresh = (int(mask.sum()) if fresh is None
+                           else int((mask & fresh).sum()))
+                unavail_fresh[i] = n_fresh
+                unavail_coalesced[i] = int(mask.sum()) - n_fresh
 
         def priced(stage: Stage, step: int, **volumes) -> float:
             trace.add(stage, machine, step, **volumes)
@@ -508,6 +742,12 @@ class InferenceService:
         for i, (mfg, (_feats, stats)) in enumerate(zip(mfgs, results)):
             step = step0 + i
             self._totals.add(stats)
+            n_unavail = unavail_fresh[i] + unavail_coalesced[i]
+            if n_unavail:
+                self._totals.remote_rows -= unavail_fresh[i]
+                self._totals.coalesced_rows -= unavail_coalesced[i]
+                self._totals.unavailable_rows += n_unavail
+                self.availability.unavailable_rows += n_unavail
             host_rows = stats.cpu_rows + stats.cached_rows + stats.coalesced_rows
             sample_time += priced(
                 Stage.SAMPLE, step,
@@ -523,7 +763,7 @@ class InferenceService:
             compute += priced(Stage.TRAIN, step,
                               flops=forward_flops(mfg, *self._dims))
             compute_times.append(compute)
-            demand_rows += stats.remote_rows
+            demand_rows += stats.remote_rows - unavail_fresh[i]
             refresh_rows += stats.refresh_fetch_rows
             mfg_edges += mfg.num_edges
 
@@ -563,7 +803,7 @@ class InferenceService:
                                         requests=len(group))
             self._finish_batch(machine, mfgs[i], results[i][0], group,
                                formed=now, started=start, completed=clock,
-                               window_span=window_parent)
+                               window_span=window_parent, flags=flags)
         self._window_durations.append(clock - start)
         # Cache-refresh fetches run after the responses are out: they hold
         # the machine (delaying the next window) but not these requests.
@@ -585,19 +825,28 @@ class InferenceService:
 
     def _finish_batch(self, machine: int, mfg: MFG, feats: np.ndarray,
                       group: List[Request], *, formed: float, started: float,
-                      completed: float, window_span: int = 0) -> None:
+                      completed: float, window_span: int = 0,
+                      flags: Optional[Dict[int, str]] = None) -> None:
         """Forward pass → per-seed predictions, records, completion event."""
         self.model.eval()
         logits = self.model(feats, mfg)
         preds = logits.data.argmax(axis=1)
         for req in group:
+            status = flags.get(req.rid, "ok") if flags else "ok"
+            if status == "degraded":
+                self.availability.degraded += 1
+                if OBS.enabled:
+                    OBS.metrics.counter("serve.degraded_requests").inc()
+            else:
+                self.availability.served_ok += 1
             # mfg.seeds is the sorted unique union of the group's seeds.
             pos = np.searchsorted(mfg.seeds, req.seeds)
             self._predictions[req.rid] = preds[pos].copy()
             self._records.append(RequestRecord(
                 rid=req.rid, machine=machine, num_seeds=req.num_seeds,
                 arrival=req.arrival, formed=formed, started=started,
-                completed=completed,
+                completed=completed, slo=req.slo, status=status,
+                retries=self._retries.get(req.rid, 0),
             ))
             self._latency_hist.observe(completed - req.arrival)
             if OBS.enabled:

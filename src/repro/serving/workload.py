@@ -41,13 +41,17 @@ class Request:
     numbering at admission and reports predictions back in this request's
     seed order.  ``arrival`` is simulated-clock seconds.  ``client``
     identifies the issuing closed-loop client (``None`` for open-loop
-    traffic).
+    traffic).  ``slo`` names the request's SLO class — it selects the
+    degraded-mode action (retry / degrade / shed) from
+    ``ServingConfig.slo_policies`` when a partition the request needs is
+    down; unlisted classes degrade.
     """
 
     rid: int
     seeds: np.ndarray
     arrival: float
     client: Optional[int] = None
+    slo: str = "standard"
 
     def __post_init__(self):
         self.seeds = np.asarray(self.seeds, dtype=np.int64)
@@ -93,6 +97,7 @@ def poisson_requests(
     drift_interval: int = 50,
     start: float = 0.0,
     seed: SeedLike = None,
+    slo: str = "standard",
 ) -> List[Request]:
     """Open-loop Poisson arrivals over a drifting-popularity seed stream.
 
@@ -113,7 +118,7 @@ def poisson_requests(
         hot_fraction=hot_fraction, hot_mass=hot_mass,
         drift_interval=drift_interval, seed=derive_seed(seed, "seeds"),
     )
-    return [Request(rid=i, seeds=seeds, arrival=float(arrivals[i]))
+    return [Request(rid=i, seeds=seeds, arrival=float(arrivals[i]), slo=slo)
             for i, seeds in enumerate(stream)]
 
 

@@ -11,12 +11,14 @@ Normal shutdown must leave the same nothing behind — including no
 import os
 import subprocess
 import sys
+import time
 from multiprocessing import shared_memory
 
 import pytest
 
 from repro.core import RunConfig, SalientPP
-from repro.distributed import MultiprocBackend, WorkerFailedError
+from repro.distributed import FaultPlan, MultiprocBackend, WorkerFailedError
+from repro.distributed.multiproc import WORKER_POOL
 from repro.graph.datasets import make_tiny
 
 
@@ -112,6 +114,122 @@ def test_training_set_swap_refused_while_live():
         system.shutdown()
     # After shutdown the swap is allowed again.
     system.update_training_set(train_idx)
+
+
+def test_hang_detected_within_receive_deadline():
+    # A worker sleeping past timeout_s must be detected by the receive
+    # deadline — within roughly one pump interval of it, not the hang
+    # duration — attributed to the right machine, and the sleeping process
+    # reaped at teardown (no orphan survives a 120 s nap).
+    system = _build_system()
+    backend = MultiprocBackend(
+        system, timeout_s=2.0,
+        faults=FaultPlan.single("hang", machine=1, epoch=0, step=1,
+                                duration_s=120.0))
+    t0 = time.monotonic()
+    with pytest.raises(WorkerFailedError) as excinfo:
+        backend.run_epoch(0)
+    elapsed = time.monotonic() - t0
+    assert excinfo.value.machine == 1
+    assert "no message" in str(excinfo.value)
+    # Budget: epoch work before the hang + the 2 s deadline + one ~1 s
+    # pump interval + teardown (terminate, not the full join escalation).
+    assert elapsed < 10.0, f"hang took {elapsed:.1f}s to surface"
+    _assert_fully_torn_down(backend)
+
+
+# ----------------------------------------------------------------------
+# warm-pool lifecycle
+# ----------------------------------------------------------------------
+
+def _park_clusters(n):
+    """Park ``n`` clean same-fingerprint clusters; returns the pool key
+    and the parked worker pids.  The backends run concurrently — a closed
+    backend's parked cluster would otherwise just be re-acquired (and
+    re-parked) by the next one."""
+    backends = []
+    for _ in range(n):
+        backend = MultiprocBackend(_build_system(), timeout_s=30.0,
+                                   keep_warm=True)
+        backend.run_epoch(0)
+        backends.append(backend)
+    key = backends[0]._pool_key
+    for backend in backends:
+        assert backend._pool_key == key
+        backend.close()
+    pids = {proc.pid for workers in WORKER_POOL._clusters.get(key, [])
+            for proc, _conn in workers}
+    return key, pids
+
+
+def test_faulted_unrecovered_cluster_never_parked():
+    before = WORKER_POOL.num_parked
+    backend = MultiprocBackend(
+        _build_system(), timeout_s=30.0, keep_warm=True, recoverable=True,
+        faults=FaultPlan.single("kill", machine=1, epoch=0, step=1))
+    with pytest.raises(WorkerFailedError):
+        backend.run_epoch(0)
+    backend.close()  # faulted, unrecovered: torn down, never parked
+    assert WORKER_POOL.num_parked == before
+    _assert_fully_torn_down(backend)
+
+
+def test_unfired_fault_plan_is_never_parked():
+    before = WORKER_POOL.num_parked
+    backend = MultiprocBackend(
+        _build_system(), timeout_s=30.0, keep_warm=True,
+        faults=FaultPlan.single("kill", machine=1, epoch=7, step=0))
+    backend.run_epoch(0)  # the scheduled fault never fires
+    backend.close()
+    # A worker still holding an unfired fault schedule must not reenter
+    # the generic pool.
+    assert WORKER_POOL.num_parked == before
+    _assert_fully_torn_down(backend)
+
+
+def test_recovered_then_clean_cluster_parks():
+    try:
+        before = WORKER_POOL.num_parked
+        backend = MultiprocBackend(
+            _build_system(), timeout_s=30.0, keep_warm=True,
+            recoverable=True,
+            faults=FaultPlan.single("kill", machine=1, epoch=0, step=1))
+        with pytest.raises(WorkerFailedError):
+            backend.run_epoch(0)
+        backend.recover(None)
+        report = backend.run_epoch(0)  # replay, fault schedule cleared
+        assert report.mean_loss is not None
+        backend.close()
+        # Recovered and idle: as parkable as any clean cluster (the
+        # replacement rank was bound with an empty fault schedule).
+        assert WORKER_POOL.num_parked == before + 2
+    finally:
+        WORKER_POOL.clear()
+
+
+def test_recovery_prefers_warm_spares():
+    try:
+        _key, parked_pids = _park_clusters(2)
+        assert len(parked_pids) == 4  # two K=2 clusters
+        backend = MultiprocBackend(
+            _build_system(), timeout_s=30.0, recoverable=True,
+            faults=FaultPlan.single("kill", machine=1, epoch=0, step=1))
+        with pytest.raises(WorkerFailedError):
+            backend.run_epoch(0)
+        assert backend.reused_pool  # started on the first parked cluster
+        recovered_before = backend.processes[1].pid
+        assert backend.recover(None) == 1
+        replacement = backend.processes[1].pid
+        assert replacement != recovered_before
+        # The replacement came from the second parked cluster, not a fresh
+        # spawn.
+        assert replacement in parked_pids
+        report = backend.run_epoch(0)
+        assert report.mean_loss is not None
+        backend.close()
+        _assert_fully_torn_down(backend)
+    finally:
+        WORKER_POOL.clear()
 
 
 _TRACKER_SCRIPT = """

@@ -185,6 +185,75 @@ def test_corrupt_ndarray_header_cannot_overread():
 
 
 # ----------------------------------------------------------------------
+# corruption: byte flips must never decode (hypothesis)
+# ----------------------------------------------------------------------
+#
+# The message CRC32 trailer covers the entire frame, and CRC32 detects
+# every single-byte error, so *any* one-byte flip anywhere in a framed
+# message — magic, version, kind, scalar payload, ndarray payload, or the
+# trailer itself — must surface as WireError, never a garbage decode.
+
+_kinds = st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                 min_size=1, max_size=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_kinds, values, st.data())
+def test_any_single_byte_flip_in_message_is_rejected(kind, payload, data):
+    frame = bytearray(pack_message(kind, payload))
+    pos = data.draw(st.integers(0, len(frame) - 1), label="flip position")
+    delta = data.draw(st.integers(1, 255), label="xor mask")
+    unpack_message(bytes(frame))  # pristine frame decodes
+    frame[pos] ^= delta
+    with pytest.raises(WireError):
+        unpack_message(bytes(frame))
+
+
+@settings(max_examples=150, deadline=None)
+@given(ndarrays().filter(lambda a: a.nbytes > 0), st.data())
+def test_ndarray_payload_byte_flip_trips_frame_crc(arr, data):
+    # A bare value frame has no message trailer; the per-ndarray CRC alone
+    # must reject a flipped payload byte (these bytes used to decode
+    # silently into a wrong array before wire v2).
+    frame = bytearray(pack_obj(arr))
+    lo = len(frame) - 4 - arr.nbytes  # | ... shape | payload | crc32 |
+    pos = data.draw(st.integers(lo, len(frame) - 5), label="payload byte")
+    delta = data.draw(st.integers(1, 255), label="xor mask")
+    frame[pos] ^= delta
+    with pytest.raises(WireError, match="checksum"):
+        unpack_obj(bytes(frame))
+
+
+def test_ndarray_crc_trailer_flip_rejected():
+    frame = bytearray(pack_obj(np.arange(16, dtype=np.int64)))
+    frame[-1] ^= 0xFF
+    with pytest.raises(WireError, match="checksum"):
+        unpack_obj(bytes(frame))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_kinds, values, st.data(), st.integers(0, 7))
+def test_corrupt_message_attributes_machine(kind, payload, data, machine):
+    # The coordinator decodes with machine=<rank>; every decode failure on
+    # that pipe must name the peer so chaos runs are machine-attributed.
+    frame = bytearray(pack_message(kind, payload))
+    pos = data.draw(st.integers(0, len(frame) - 1), label="flip position")
+    delta = data.draw(st.integers(1, 255), label="xor mask")
+    frame[pos] ^= delta
+    with pytest.raises(WireError) as excinfo:
+        unpack_message(bytes(frame), machine=machine)
+    assert excinfo.value.machine == machine
+
+
+def test_clean_decode_failure_without_machine_stays_anonymous():
+    frame = bytearray(pack_message("ok", [1, 2, 3]))
+    frame[-1] ^= 0x01
+    with pytest.raises(WireError) as excinfo:
+        unpack_message(bytes(frame))
+    assert excinfo.value.machine is None
+
+
+# ----------------------------------------------------------------------
 # fetch-plan codecs against a real store
 # ----------------------------------------------------------------------
 
